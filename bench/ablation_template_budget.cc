@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: template-pool memory budget vs latency (paper Sec. 6.9:
+ * "fork boot introduces more memory overhead; thus fork boot is more
+ * suitable for frequently invoked (hot) functions").
+ *
+ * A skewed workload runs under the priority-based boot policy with
+ * increasing template memory budgets; more budget means more functions
+ * boot via sfork instead of warm restore.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "platform/policy.h"
+#include "platform/workload.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+namespace {
+
+struct Outcome
+{
+    double p50, p99;
+    std::size_t templates;
+    double template_mb;
+};
+
+Outcome
+run(std::size_t budget_bytes)
+{
+    sandbox::Machine machine(42);
+    platform::ServerlessPlatform plat(
+        machine,
+        platform::PlatformConfig{platform::BootStrategy::CatalyzerAuto});
+    platform::PolicyConfig pc;
+    pc.templateMemoryBudgetBytes = budget_bytes;
+    pc.hotThreshold = 3;
+    platform::BootPolicyManager policy(plat, pc);
+
+    std::vector<std::string> functions;
+    for (const apps::AppProfile *app : apps::figure11Apps()) {
+        plat.deploy(*app);
+        functions.push_back(app->name);
+    }
+
+    // Two phases: observe traffic, rebalance, then measure.
+    const auto spec =
+        platform::WorkloadSpec::zipf(functions, /*total_rps=*/30.0);
+    sim::Rng rng(3);
+    sim::LatencySeries latencies;
+    for (int phase = 0; phase < 4; ++phase) {
+        for (int i = 0; i < 120; ++i) {
+            // Sample a function by traffic share.
+            double pick = rng.uniform() * 30.0;
+            std::size_t e = 0;
+            while (e + 1 < spec.mix.size() &&
+                   (pick -= spec.mix[e].requestsPerSecond) > 0)
+                ++e;
+            const auto rec = policy.invoke(spec.mix[e].function);
+            if (phase >= 1) // skip the cold warm-up phase
+                latencies.add(rec.endToEnd());
+        }
+        policy.rebalance();
+    }
+
+    return Outcome{latencies.percentile(50), latencies.percentile(99),
+                   policy.templatedFunctions().size(),
+                   static_cast<double>(policy.templateMemoryBytes()) /
+                       1048576.0};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: template memory budget",
+                  "Priority policy over the Fig. 11 mix; bigger budgets "
+                  "let more functions fork-boot.");
+
+    sim::TextTable table("Latency vs template budget");
+    table.setHeader({"budget", "templates", "template mem", "p50",
+                     "p99"});
+    for (std::size_t mb : {0u, 32u, 128u, 512u, 2048u}) {
+        const Outcome o = run(static_cast<std::size_t>(mb) << 20);
+        char mem[32];
+        std::snprintf(mem, sizeof(mem), "%.0f MB", o.template_mb);
+        table.addRow({std::to_string(mb) + " MB",
+                      std::to_string(o.templates), mem,
+                      sim::fmtMs(o.p50), sim::fmtMs(o.p99)});
+    }
+    table.print();
+    std::printf("\ntakeaway: the first few hundred MB of templates buy "
+                "the biggest tail win —\nthe Zipf head; cold functions "
+                "are served by warm restore at a few ms.\n");
+    bench::footer();
+    return 0;
+}

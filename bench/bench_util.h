@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Every binary regenerates one table or figure of the Catalyzer paper
+ * (ASPLOS'20) from the simulated mechanisms, printing the same rows or
+ * series the paper reports, plus the paper's reference numbers where the
+ * text states them.
+ */
+
+#ifndef CATALYZER_BENCH_BENCH_UTIL_H
+#define CATALYZER_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace catalyzer::bench {
+
+/** Standard banner naming the experiment being reproduced. */
+inline void
+banner(const char *figure, const char *description)
+{
+    std::printf("==============================================================\n");
+    std::printf("Catalyzer reproduction: %s\n", figure);
+    std::printf("%s\n", description);
+    std::printf("==============================================================\n\n");
+}
+
+/** Closing note emitted by every harness. */
+inline void
+footer()
+{
+    std::printf("\nnote: latencies are virtual-clock values from the "
+                "simulated host;\n"
+                "      compare shapes and ratios against the paper, not "
+                "absolute walltime.\n");
+}
+
+} // namespace catalyzer::bench
+
+#endif // CATALYZER_BENCH_BENCH_UTIL_H

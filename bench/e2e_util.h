@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared end-to-end suite runner for the Fig. 13 benches: for each
+ * function in a suite, measure Boot and Execution latency under gVisor,
+ * Catalyzer fork boot (C-sfork) and Catalyzer cold restore (C-restore).
+ */
+
+#ifndef CATALYZER_BENCH_E2E_UTIL_H
+#define CATALYZER_BENCH_E2E_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "catalyzer/runtime.h"
+#include "platform/platform.h"
+#include "sim/table.h"
+
+namespace catalyzer::bench {
+
+struct E2eRow
+{
+    std::string function;
+    double gv_boot, gv_exec;
+    double fork_boot, fork_exec;
+    double cold_boot, cold_exec;
+};
+
+/** Run one function under one strategy; return (boot, exec) in ms. */
+inline std::pair<double, double>
+runOne(platform::BootStrategy strategy, const apps::AppProfile &app,
+       bool server_profile = false)
+{
+    sandbox::Machine machine(
+        42, server_profile ? sim::CostModel::serverProfile()
+                           : sim::CostModel{});
+    platform::ServerlessPlatform plat(machine,
+                                      platform::PlatformConfig{strategy});
+    plat.prepare(app);
+    const platform::InvocationRecord rec = plat.invoke(app.name);
+    return {rec.bootLatency.toMs(), rec.execLatency.toMs()};
+}
+
+/** Run a whole suite and print the Fig. 13-style table. */
+inline void
+runSuite(apps::Suite suite, const char *title, bool server_profile = false)
+{
+    std::vector<E2eRow> rows;
+    for (const apps::AppProfile *app : apps::appsInSuite(suite)) {
+        E2eRow row;
+        row.function = app->displayName;
+        std::tie(row.gv_boot, row.gv_exec) =
+            runOne(platform::BootStrategy::GVisor, *app, server_profile);
+        std::tie(row.fork_boot, row.fork_exec) = runOne(
+            platform::BootStrategy::CatalyzerFork, *app, server_profile);
+        std::tie(row.cold_boot, row.cold_exec) = runOne(
+            platform::BootStrategy::CatalyzerCold, *app, server_profile);
+        rows.push_back(row);
+    }
+
+    sim::TextTable table(title);
+    table.setHeader({"function", "gV boot", "gV exec", "sfork boot",
+                     "sfork exec", "restore boot", "restore exec",
+                     "boot speedup", "e2e speedup"});
+    for (const auto &r : rows) {
+        table.addRow({
+            r.function,
+            sim::fmtMs(r.gv_boot), sim::fmtMs(r.gv_exec),
+            sim::fmtMs(r.fork_boot), sim::fmtMs(r.fork_exec),
+            sim::fmtMs(r.cold_boot), sim::fmtMs(r.cold_exec),
+            sim::fmtSpeedup(r.gv_boot / r.fork_boot),
+            sim::fmtSpeedup((r.gv_boot + r.gv_exec) /
+                            (r.fork_boot + r.fork_exec)),
+        });
+    }
+    table.print();
+}
+
+} // namespace catalyzer::bench
+
+#endif // CATALYZER_BENCH_E2E_UTIL_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 1: CDF of the execution/overall latency ratio across the 14
+ * end-to-end serverless functions, gVisor vs Catalyzer (cold boot).
+ *
+ * Paper anchors: no gVisor function exceeds 65.54%; 12 of 14 stay below
+ * 30%, i.e. startup dominates end-to-end latency.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "catalyzer/runtime.h"
+#include "platform/platform.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+namespace {
+
+struct Ratio
+{
+    std::string name;
+    double gvisor;
+    double catalyzer;
+};
+
+double
+ratioFor(platform::BootStrategy strategy, const apps::AppProfile &app)
+{
+    sandbox::Machine machine(42);
+    platform::ServerlessPlatform plat(machine,
+                                      platform::PlatformConfig{strategy});
+    plat.prepare(app);
+    const platform::InvocationRecord rec = plat.invoke(app.name);
+    return rec.execLatency.toMs() / rec.endToEnd().toMs();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 1",
+                  "CDF of execution/overall latency ratio over the 14 "
+                  "end-to-end functions\n(DeathStar + image processing + "
+                  "E-commerce), gVisor cold boot vs Catalyzer cold boot.");
+
+    std::vector<Ratio> ratios;
+    for (const apps::AppProfile *app : apps::endToEndApps()) {
+        ratios.push_back(Ratio{
+            app->displayName,
+            ratioFor(platform::BootStrategy::GVisor, *app),
+            ratioFor(platform::BootStrategy::CatalyzerCold, *app)});
+    }
+
+    sim::TextTable table("Execution/Overall ratio per function (%)");
+    table.setHeader({"function", "gVisor", "Catalyzer"});
+    for (const auto &r : ratios) {
+        char gv[32], cat[32];
+        std::snprintf(gv, sizeof(gv), "%.2f", 100.0 * r.gvisor);
+        std::snprintf(cat, sizeof(cat), "%.2f", 100.0 * r.catalyzer);
+        table.addRow({r.name, gv, cat});
+    }
+    table.print();
+
+    auto print_cdf = [&](const char *label, auto proj) {
+        std::vector<double> xs;
+        for (const auto &r : ratios)
+            xs.push_back(100.0 * proj(r));
+        std::sort(xs.begin(), xs.end());
+        std::printf("\n");
+        sim::printCdf(std::cout, label, xs);
+    };
+    print_cdf("gVisor exec/overall %%",
+              [](const Ratio &r) { return r.gvisor; });
+    print_cdf("Catalyzer exec/overall %%",
+              [](const Ratio &r) { return r.catalyzer; });
+
+    double gv_max = 0.0;
+    std::size_t gv_below_30 = 0;
+    for (const auto &r : ratios) {
+        gv_max = std::max(gv_max, r.gvisor);
+        gv_below_30 += r.gvisor < 0.30;
+    }
+    std::printf("\ngVisor max ratio: %.2f%%   (paper: 65.54%%)\n",
+                100.0 * gv_max);
+    std::printf("gVisor functions below 30%%: %zu / %zu   (paper: 12 / "
+                "14)\n",
+                gv_below_30, ratios.size());
+    bench::footer();
+    return 0;
+}

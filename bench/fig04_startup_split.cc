@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 4: startup latency split into sandbox initialization and
+ * application initialization for Docker, gVisor, FireCracker and
+ * HyperContainer, on Java-hello, Java-SPECjbb, Python-hello and
+ * Python-Django.
+ *
+ * Paper findings: application init dominates for complex apps (SPECjbb);
+ * sandbox init dominates for lightweight ones (Python-hello); sandbox
+ * init is stable across workloads.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sandbox/pipelines.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "Startup latency distribution: sandbox vs application "
+                  "initialization (%).");
+
+    const char *workloads[] = {"java-hello", "java-specjbb",
+                               "python-hello", "python-django"};
+    const sandbox::SandboxSystem systems[] = {
+        sandbox::SandboxSystem::Docker,
+        sandbox::SandboxSystem::GVisor,
+        sandbox::SandboxSystem::FireCracker,
+        sandbox::SandboxSystem::HyperContainer,
+    };
+
+    sim::TextTable table("Sandbox%% / Application%% of startup latency");
+    table.setHeader({"workload", "Docker", "gVisor", "FireCracker",
+                     "HyperContainer"});
+    for (const char *workload : workloads) {
+        std::vector<std::string> row{apps::appByName(workload)
+                                         .displayName};
+        for (const auto system : systems) {
+            sandbox::Machine machine(42);
+            sandbox::FunctionRegistry registry(machine);
+            auto &fn = registry.artifactsFor(apps::appByName(workload));
+            const auto boot = sandbox::bootSandbox(system, fn);
+            const double total = boot.report.total().toMs();
+            char cell[64];
+            std::snprintf(cell, sizeof(cell), "%4.1f/%4.1f",
+                          100.0 * boot.report.sandboxInit().toMs() / total,
+                          100.0 * boot.report.appInit().toMs() / total);
+            row.push_back(cell);
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    std::printf("\nAbsolute startup latency (ms):\n");
+    sim::TextTable abs;
+    abs.setHeader({"workload", "Docker", "gVisor", "FireCracker",
+                   "HyperContainer"});
+    for (const char *workload : workloads) {
+        std::vector<std::string> row{apps::appByName(workload)
+                                         .displayName};
+        for (const auto system : systems) {
+            sandbox::Machine machine(42);
+            sandbox::FunctionRegistry registry(machine);
+            auto &fn = registry.artifactsFor(apps::appByName(workload));
+            const auto boot = sandbox::bootSandbox(system, fn);
+            row.push_back(sim::fmtMs(boot.report.total().toMs()));
+        }
+        abs.addRow(std::move(row));
+    }
+    abs.print();
+    bench::footer();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 6: startup latency of gVisor vs gVisor-restore on the six
+ * figure workloads (C-hello, C-Nginx, Java-hello, Java-SPECjbb,
+ * Python-hello, Python-Django).
+ *
+ * Paper anchors: restore eliminates application init, 2x-5x speedup,
+ * but still ~400 ms for SPECjbb and >100 ms elsewhere.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sandbox/pipelines.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "gVisor vs gVisor-restore startup latency (sandbox + "
+                  "application parts, ms).");
+
+    const char *workloads[] = {"c-hello", "c-nginx",
+                               "java-hello", "java-specjbb",
+                               "python-hello", "python-django"};
+
+    sim::TextTable table;
+    table.setHeader({"workload", "gVisor sandbox", "gVisor app",
+                     "gVisor total", "restore sandbox", "restore app",
+                     "restore total", "speedup"});
+    for (const char *workload : workloads) {
+        sandbox::Machine machine(42);
+        sandbox::FunctionRegistry registry(machine);
+        auto &fn = registry.artifactsFor(apps::appByName(workload));
+        const auto fresh =
+            sandbox::bootSandbox(sandbox::SandboxSystem::GVisor, fn);
+        const auto restore = sandbox::bootSandbox(
+            sandbox::SandboxSystem::GVisorRestore, fn);
+        table.addRow({
+            apps::appByName(workload).displayName,
+            sim::fmtMs(fresh.report.sandboxInit().toMs()),
+            sim::fmtMs(fresh.report.appInit().toMs()),
+            sim::fmtMs(fresh.report.total().toMs()),
+            sim::fmtMs(restore.report.sandboxInit().toMs()),
+            sim::fmtMs(restore.report.appInit().toMs()),
+            sim::fmtMs(restore.report.total().toMs()),
+            sim::fmtSpeedup(fresh.report.total().toMs() /
+                            restore.report.total().toMs()),
+        });
+    }
+    table.print();
+    std::printf("\npaper anchors: 2x-5x speedup; SPECjbb restore ~400 "
+                "ms; others >100 ms.\n");
+    bench::footer();
+    return 0;
+}

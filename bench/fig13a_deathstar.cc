@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 13a: end-to-end latency of the five DeathStar social-network
+ * microservices under gVisor, Catalyzer-sfork and Catalyzer-restore.
+ *
+ * Paper anchors: all functions execute in <2.5 ms, so startup dominates;
+ * sfork cuts end-to-end latency 35-67x.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "e2e_util.h"
+
+using namespace catalyzer;
+
+int
+main()
+{
+    bench::banner("Figure 13a",
+                  "DeathStar social-network microservices, boot + "
+                  "execution latency (ms).");
+    bench::runSuite(apps::Suite::DeathStar,
+                    "DeathStar microservices end-to-end");
+    std::printf("\npaper anchors: execution <2.5 ms everywhere; 35-67x "
+                "end-to-end with sfork.\n");
+    bench::footer();
+    return 0;
+}

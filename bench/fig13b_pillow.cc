@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 13b: end-to-end latency of the five Pillow image-processing
+ * functions under gVisor, Catalyzer-sfork and Catalyzer-restore.
+ *
+ * Paper anchors: execution 100-200 ms, startup still dominates under
+ * gVisor (>500 ms); 4.1-6.5x end-to-end with fork boot, 3.6-4.3x with
+ * cold boot.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "e2e_util.h"
+
+using namespace catalyzer;
+
+int
+main()
+{
+    bench::banner("Figure 13b",
+                  "Pillow image-processing functions, boot + execution "
+                  "latency (ms).");
+    bench::runSuite(apps::Suite::Pillow,
+                    "Pillow image processing end-to-end");
+    std::printf("\npaper anchors: execution 100-200 ms; 4.1-6.5x e2e "
+                "with fork boot, 3.6-4.3x cold.\n");
+    bench::footer();
+    return 0;
+}

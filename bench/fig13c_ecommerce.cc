@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 13c: end-to-end latency of the four Java E-commerce functions
+ * under gVisor and Catalyzer (on the server-machine cost profile, as in
+ * the paper's C-I columns).
+ *
+ * Paper anchors: booting is 34-88% of end-to-end latency under gVisor
+ * and drops below 5% with Catalyzer.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "e2e_util.h"
+
+using namespace catalyzer;
+
+int
+main()
+{
+    bench::banner("Figure 13c",
+                  "E-commerce Java functions on the server machine, "
+                  "boot + execution latency (ms).");
+    bench::runSuite(apps::Suite::Ecommerce,
+                    "E-commerce functions end-to-end (server profile)",
+                    /*server_profile=*/true);
+
+    std::printf("\nBoot share of end-to-end latency:\n");
+    for (const apps::AppProfile *app :
+         apps::appsInSuite(apps::Suite::Ecommerce)) {
+        const auto [gv_boot, gv_exec] =
+            bench::runOne(platform::BootStrategy::GVisor, *app, true);
+        const auto [cat_boot, cat_exec] = bench::runOne(
+            platform::BootStrategy::CatalyzerFork, *app, true);
+        std::printf("  %-14s gVisor %5.1f%%   Catalyzer %5.2f%%\n",
+                    app->displayName.c_str(),
+                    100.0 * gv_boot / (gv_boot + gv_exec),
+                    100.0 * cat_boot / (cat_boot + cat_exec));
+    }
+    std::printf("\npaper anchors: boot share 34-88%% under gVisor, <5%% "
+                "with Catalyzer.\n");
+    bench::footer();
+    return 0;
+}

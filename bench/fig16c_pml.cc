@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 16c: per-ioctl latency of KVM_SET_USER_MEMORY_REGION as the
+ * number of registered regions grows, with PML enabled (KVM default)
+ * vs disabled (Catalyzer).
+ *
+ * Paper anchor: disabling PML yields ~10x shorter latency and saves
+ * 5-8 ms when setting up a sandbox's memory regions.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hostos/kvm.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+int
+main()
+{
+    bench::banner("Figure 16c",
+                  "set_user_memory_region ioctl latency vs number of "
+                  "requests, PML on/off.");
+
+    sim::SimContext ctx_on(42), ctx_off(42);
+    hostos::KvmVm pml_on(ctx_on, hostos::KvmConfig{true, false});
+    hostos::KvmVm pml_off(ctx_off, hostos::KvmConfig{false, false});
+    pml_on.createVm();
+    pml_off.createVm();
+    for (int i = 0; i < 4; ++i) {
+        pml_on.createVcpu();
+        pml_off.createVcpu();
+    }
+
+    sim::TextTable table("Per-ioctl latency (us)");
+    table.setHeader({"request #", "default (PML on)", "PML disabled",
+                     "ratio"});
+    double total_on = 0.0, total_off = 0.0;
+    for (int i = 1; i <= 11; ++i) {
+        const double on = pml_on.setUserMemoryRegion().toUs();
+        const double off = pml_off.setUserMemoryRegion().toUs();
+        total_on += on;
+        total_off += off;
+        char a[32], b[32];
+        std::snprintf(a, sizeof(a), "%.0f", on);
+        std::snprintf(b, sizeof(b), "%.0f", off);
+        table.addRow({std::to_string(i), a, b,
+                      sim::fmtSpeedup(on / off)});
+    }
+    table.print();
+    std::printf("\ntotal for 11 regions: PML on %.2f ms, off %.2f ms "
+                "(saving %.2f ms; paper: 5-8 ms)\n",
+                total_on / 1000.0, total_off / 1000.0,
+                (total_on - total_off) / 1000.0);
+    bench::footer();
+    return 0;
+}

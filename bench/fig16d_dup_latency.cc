@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 16d: dup/dup2 latency during boot — most calls are cheap, but
+ * fdtable expansions cost ~1 ms and occasionally burst to tens of ms
+ * (fdtable reallocation hitting a reclaim stall), motivating the
+ * lazy-dup optimization.
+ *
+ * The harness replays a boot storm: many sandboxes, each performing the
+ * dup sequence of an I/O-heavy restore.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "hostos/host_kernel.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+namespace {
+
+/** All dup latencies (us) across @p sandboxes boots. */
+std::vector<double>
+dupStorm(bool lazy, int sandboxes, int dups_per_boot)
+{
+    sim::SimContext ctx(7);
+    hostos::HostKernel kernel(ctx);
+    std::vector<double> lat_us;
+    for (int s = 0; s < sandboxes; ++s) {
+        hostos::HostProcess &proc =
+            kernel.spawnProcess("sandbox" + std::to_string(s));
+        const int fd = proc.fds().allocate(
+            vfs::FdEntry{vfs::FdKind::File, "/x", true, true, 0});
+        for (int i = 0; i < dups_per_boot; ++i) {
+            const auto before = ctx.now();
+            kernel.dup(proc, fd, lazy);
+            lat_us.push_back((ctx.now() - before).toUs());
+        }
+    }
+    return lat_us;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 16d",
+                  "dup() latency during a boot storm (fdtable "
+                  "expansions included).");
+
+    const auto eager = dupStorm(false, 32, 300);
+
+    std::vector<double> sorted = eager;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&sorted](double p) {
+        return sorted[static_cast<std::size_t>(
+            p / 100.0 * static_cast<double>(sorted.size() - 1))];
+    };
+
+    sim::TextTable table("dup latency distribution over " +
+                         std::to_string(eager.size()) + " calls");
+    table.setHeader({"percentile", "latency"});
+    for (double p : {50.0, 90.0, 99.0, 99.5, 99.9, 100.0}) {
+        char label[16];
+        std::snprintf(label, sizeof(label), "p%.1f", p);
+        table.addRow({label,
+                      sim::SimTime::microseconds(pct(p)).toString()});
+    }
+    table.print();
+
+    std::printf("\nexpansion spikes observed (>100 us): %zu; worst "
+                "%.2f ms (paper: <=1 ms typical,\n30 ms bursts from "
+                "fdtable expansion)\n",
+                static_cast<std::size_t>(std::count_if(
+                    eager.begin(), eager.end(),
+                    [](double v) { return v > 100.0; })),
+                sorted.back() / 1000.0);
+
+    // The lazy-dup fix: the visible fd is pre-available; expansions
+    // happen off the critical path.
+    const auto lazy = dupStorm(true, 32, 300);
+    const double worst_lazy = *std::max_element(lazy.begin(), lazy.end());
+    std::printf("with lazy dup: worst case %.1f us (paper: contributes "
+                "10-20 ms improvement)\n", worst_lazy);
+    bench::footer();
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 1: the syscall classification used by sfork — allowed vs
+ * handled syscalls, grouped by category, with the user-space handler
+ * responsible for each handled group.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "guest/syscall_policy.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+int
+main()
+{
+    bench::banner("Table 1",
+                  "Syscall classification used in Catalyzer for sfork "
+                  "(bold = handled).");
+
+    std::map<guest::SyscallCategory,
+             std::pair<std::string, std::string>> rows;
+    std::map<guest::SyscallCategory, std::string> handlers;
+    for (const auto &rule : guest::syscallTable()) {
+        auto &row = rows[rule.category];
+        std::string &cell = rule.cls == guest::SyscallClass::Handled
+                                ? row.first
+                                : row.second;
+        if (!cell.empty())
+            cell += ", ";
+        cell += rule.name;
+        if (rule.handler != guest::SforkHandler::None) {
+            std::string &h = handlers[rule.category];
+            const std::string name = guest::sforkHandlerName(rule.handler);
+            if (h.find(name) == std::string::npos) {
+                if (!h.empty())
+                    h += " + ";
+                h += name;
+            }
+        }
+    }
+
+    for (const auto &[category, cells] : rows) {
+        std::printf("[%s]  handlers: %s\n",
+                    guest::syscallCategoryName(category),
+                    handlers.count(category) ? handlers[category].c_str()
+                                             : "-");
+        std::printf("  handled: %s\n",
+                    cells.first.empty() ? "-" : cells.first.c_str());
+        std::printf("  allowed: %s\n\n",
+                    cells.second.empty() ? "-" : cells.second.c_str());
+    }
+
+    std::printf("total syscalls listed: %zu (handled %zu, allowed %zu); "
+                "everything else is denied.\n",
+                guest::syscallTable().size(),
+                guest::syscallsWithClass(
+                    guest::SyscallClass::Handled).size(),
+                guest::syscallsWithClass(
+                    guest::SyscallClass::Allowed).size());
+    bench::footer();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DeathStar social-network scenario: a "compose post" user action fans
+ * out to five microservice functions. Run it on a platform that starts
+ * cold and escalates — the first request pays a cold restore, the next
+ * shares the Base-EPT, and once templates exist every further burst is
+ * served by sub-millisecond sforks.
+ *
+ * This is the serverless pattern the paper's introduction motivates:
+ * chains of short functions whose end-to-end latency is dominated by
+ * sandbox startup unless startup is init-less.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "platform/platform.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+namespace {
+
+/** One user action: the post pipeline across the five services. */
+const std::vector<const char *> kPipeline = {
+    "ds-uniqueid", "ds-text", "ds-media", "ds-compose", "ds-timeline",
+};
+
+double
+composePost(platform::ServerlessPlatform &plat, const char *label)
+{
+    double total_ms = 0.0;
+    double boot_ms = 0.0;
+    for (const char *service : kPipeline) {
+        const auto rec = plat.invoke(service);
+        total_ms += rec.endToEnd().toMs();
+        boot_ms += rec.bootLatency.toMs();
+    }
+    std::printf("  %-28s total %8.2f ms  (boot %8.2f ms, exec+rpc "
+                "%7.2f ms)\n",
+                label, total_ms, boot_ms, total_ms - boot_ms);
+    return total_ms;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("DeathStar social network on Catalyzer "
+                "(auto-escalating boot policy)\n\n");
+
+    sandbox::Machine machine(42);
+    platform::ServerlessPlatform plat(
+        machine,
+        platform::PlatformConfig{platform::BootStrategy::CatalyzerAuto});
+    for (const char *service : kPipeline)
+        plat.deploy(apps::appByName(service));
+
+    std::printf("compose-post latency as the platform warms up:\n");
+    const double cold = composePost(plat, "1st post (cold restores)");
+    const double warm = composePost(plat, "2nd post (warm restores)");
+
+    // Mark the services hot: build templates for fork boot.
+    for (const char *service : kPipeline)
+        plat.prepare(apps::appByName(service));
+    const double fork = composePost(plat, "3rd post (sfork)");
+    composePost(plat, "4th post (sfork)");
+
+    std::printf("\nwarm-up effect: %0.1fx from cold to warm, %0.1fx "
+                "from cold to sfork\n",
+                cold / warm, cold / fork);
+
+    // Compare with the same pipeline on stock gVisor.
+    sandbox::Machine gv_machine(42);
+    platform::ServerlessPlatform gv(
+        gv_machine,
+        platform::PlatformConfig{platform::BootStrategy::GVisor});
+    for (const char *service : kPipeline)
+        gv.deploy(apps::appByName(service));
+    std::printf("\nthe same pipeline on stock gVisor:\n");
+    const double gvisor = composePost(gv, "any post (always cold)");
+    std::printf("\nCatalyzer sfork vs gVisor, end to end: %.0fx\n",
+                gvisor / fork);
+
+    std::printf("\nlive instances now: %zu; machine RSS %.1f MB\n",
+                plat.totalInstances(),
+                static_cast<double>(machine.host().machineRssPages()) *
+                    4096.0 / 1048576.0);
+    return 0;
+}

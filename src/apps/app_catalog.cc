@@ -1,0 +1,241 @@
+#include "apps/app_profile.h"
+
+#include <map>
+
+#include "mem/types.h"
+#include "sim/logging.h"
+
+namespace catalyzer::apps {
+
+using sim::SimTime;
+using namespace sim::time_literals;
+using mem::pagesForMiB;
+
+const char *
+languageName(Language lang)
+{
+    switch (lang) {
+      case Language::C: return "C";
+      case Language::Cpp: return "C++";
+      case Language::Java: return "Java";
+      case Language::Python: return "Python";
+      case Language::Ruby: return "Ruby";
+      case Language::NodeJs: return "Node.js";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Catalog builder: keeps each profile definition compact. */
+AppProfile
+make(std::string name, std::string display, Language lang, Suite suite,
+     SimTime runtime_boot, std::size_t modules, SimTime per_module,
+     SimTime setup, std::size_t binary_mib, std::size_t heap_mib,
+     std::size_t kernel_objects, std::size_t io_conns, int blocking,
+     SimTime exec_compute, double exec_touch)
+{
+    AppProfile p;
+    p.name = std::move(name);
+    p.displayName = std::move(display);
+    p.language = lang;
+    p.suite = suite;
+    p.runtimeBootCost = runtime_boot;
+    p.modulesLoaded = modules;
+    p.perModuleCost = per_module;
+    p.appSetupCost = setup;
+    p.binaryPages = pagesForMiB(binary_mib);
+    // Roughly a third of the heap belongs to the runtime itself.
+    p.runtimeHeapPages = pagesForMiB(heap_mib) / 3;
+    p.appHeapPages = pagesForMiB(heap_mib) - p.runtimeHeapPages;
+    p.kernelObjects = kernel_objects;
+    p.ioConnections = io_conns;
+    p.blockingThreads = blocking;
+    p.execComputeCost = exec_compute;
+    p.execTouchFraction = exec_touch;
+    p.rootfsFiles = 40 + modules / 4;
+    p.rootfsBytes = (binary_mib + 2) << 20;
+    return p;
+}
+
+/** Table 3 calibration: pointer density per application. */
+void
+setPointerDensity(std::vector<AppProfile> &apps)
+{
+    const std::pair<const char *, double> densities[] = {
+        {"c-hello", 0.40},        {"c-nginx", 0.39},
+        {"java-hello", 0.20},     {"java-specjbb", 0.13},
+        {"python-hello", 0.30},   {"python-django", 0.18},
+        {"ruby-hello", 0.32},     {"ruby-sinatra", 0.24},
+        {"nodejs-hello", 0.26},   {"nodejs-web", 0.24},
+    };
+    for (auto &app : apps) {
+        for (const auto &[name, density] : densities) {
+            if (app.name == name)
+                app.kernelPointerDensity = density;
+        }
+    }
+}
+
+std::vector<AppProfile>
+buildCatalog()
+{
+    std::vector<AppProfile> apps;
+
+    //
+    // Fig. 11 micro pairs: hello + real application per language.
+    //
+    // Initialization costs are NATIVE process costs; each sandbox system
+    // multiplies them by its app-init factor (CostModel).
+    apps.push_back(make("c-hello", "C-hello", Language::C, Suite::Micro,
+                        2_ms, 30, 0.05_ms, 0.3_ms, 2, 4, 1200, 8, 1,
+                        0.5_ms, 0.10));
+    apps.push_back(make("c-nginx", "C-Nginx", Language::C, Suite::Micro,
+                        2.5_ms, 140, 0.05_ms, 1.5_ms, 6, 12, 3200, 40, 2,
+                        1.2_ms, 0.12));
+    apps.push_back(make("java-hello", "Java-hello", Language::Java,
+                        Suite::Micro, 55_ms, 800, 0.042_ms, 2_ms, 20, 60,
+                        9000, 30, 3, 1_ms, 0.06));
+    apps.push_back(make("java-specjbb", "Java-SPECjbb", Language::Java,
+                        Suite::Micro, 55_ms, 8200, 0.0432_ms, 12_ms, 28,
+                        200, 37838, 120, 6, 30_ms, 0.05));
+    apps.push_back(make("python-hello", "Python-hello", Language::Python,
+                        Suite::Micro, 10_ms, 60, 0.11_ms, 0.5_ms, 12, 20,
+                        2500, 20, 2, 0.8_ms, 0.08));
+    apps.push_back(make("python-django", "Python-Django",
+                        Language::Python, Suite::Micro, 10.5_ms, 1050,
+                        0.125_ms, 9_ms, 16, 80, 12000, 80, 3, 4_ms, 0.07));
+    apps.push_back(make("ruby-hello", "Ruby-hello", Language::Ruby,
+                        Suite::Micro, 12.5_ms, 80, 0.14_ms, 0.7_ms, 10, 25,
+                        2800, 25, 2, 0.9_ms, 0.08));
+    apps.push_back(make("ruby-sinatra", "Ruby-Sinatra", Language::Ruby,
+                        Suite::Micro, 13_ms, 690, 0.16_ms, 5.7_ms, 14, 90,
+                        11000, 70, 3, 3.5_ms, 0.07));
+    apps.push_back(make("nodejs-hello", "Node.js-hello", Language::NodeJs,
+                        Suite::Micro, 20_ms, 120, 0.1_ms, 0.7_ms, 24, 40,
+                        5000, 35, 2, 0.8_ms, 0.07));
+    apps.push_back(make("nodejs-web", "Node.js-Web", Language::NodeJs,
+                        Suite::Micro, 21_ms, 430, 0.115_ms, 4_ms, 26, 110,
+                        9500, 60, 3, 2.5_ms, 0.06));
+
+    //
+    // DeathStar social-network microservices (C++, Fig. 13a).
+    //
+    struct Ds { const char *id; const char *label; SimTime exec; };
+    const Ds deathstar[] = {
+        {"ds-text", "Text", 1.3_ms},
+        {"ds-uniqueid", "UniqueID", 0.6_ms},
+        {"ds-media", "Media", 1.8_ms},
+        {"ds-compose", "ComposePost", 2.2_ms},
+        {"ds-timeline", "Timeline", 1.6_ms},
+    };
+    for (const auto &ds : deathstar) {
+        apps.push_back(make(ds.id, ds.label, Language::Cpp,
+                            Suite::DeathStar, 2_ms, 60, 0.06_ms, 0.9_ms, 4,
+                            10, 2600, 18, 2, ds.exec, 0.15));
+    }
+
+    //
+    // Pillow image-processing functions (Python, Fig. 13b).
+    //
+    struct Pw { const char *id; const char *label; SimTime exec; };
+    const Pw pillow[] = {
+        {"pillow-enhance", "Enhancement", 120_ms},
+        {"pillow-filters", "Filters", 160_ms},
+        {"pillow-rolling", "Rolling", 100_ms},
+        {"pillow-splitmerge", "SplitMerge", 180_ms},
+        {"pillow-transpose", "Transpose", 140_ms},
+    };
+    for (const auto &pw : pillow) {
+        AppProfile p = make(pw.id, pw.label, Language::Python,
+                            Suite::Pillow, 10_ms, 650, 0.135_ms, 9_ms, 18,
+                            70, 8000, 45, 3, pw.exec, 0.35);
+        p.execWriteFraction = 0.5; // image buffers are written
+        apps.push_back(std::move(p));
+    }
+
+    //
+    // E-commerce functions (Java, Fig. 13c).
+    //
+    struct Ec
+    {
+        const char *id;
+        const char *label;
+        std::size_t classes;
+        SimTime setup;
+        SimTime exec;
+    };
+    const Ec ecommerce[] = {
+        {"ec-purchase", "Purchase", 5200, 14_ms, 2200_ms},
+        {"ec-advertisement", "Advertisement", 4200, 9_ms, 520_ms},
+        {"ec-report", "Report", 5800, 11_ms, 210_ms},
+        {"ec-discount", "Discount", 4600, 10_ms, 420_ms},
+    };
+    for (const auto &ec : ecommerce) {
+        apps.push_back(make(ec.id, ec.label, Language::Java,
+                            Suite::Ecommerce, 55_ms, ec.classes, 0.0432_ms,
+                            ec.setup, 24, 150, 25000, 90, 4, ec.exec,
+                            0.12));
+    }
+
+    setPointerDensity(apps);
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+allApps()
+{
+    static const std::vector<AppProfile> catalog = buildCatalog();
+    return catalog;
+}
+
+const AppProfile &
+appByName(std::string_view name)
+{
+    for (const auto &app : allApps()) {
+        if (app.name == name)
+            return app;
+    }
+    sim::fatal("unknown application profile '%.*s'",
+               static_cast<int>(name.size()), name.data());
+}
+
+std::vector<const AppProfile *>
+figure11Apps()
+{
+    static const char *order[] = {
+        "c-hello", "c-nginx", "java-hello", "java-specjbb",
+        "python-hello", "python-django", "ruby-hello", "ruby-sinatra",
+        "nodejs-hello", "nodejs-web",
+    };
+    std::vector<const AppProfile *> out;
+    for (const char *name : order)
+        out.push_back(&appByName(name));
+    return out;
+}
+
+std::vector<const AppProfile *>
+appsInSuite(Suite suite)
+{
+    std::vector<const AppProfile *> out;
+    for (const auto &app : allApps()) {
+        if (app.suite == suite)
+            out.push_back(&app);
+    }
+    return out;
+}
+
+std::vector<const AppProfile *>
+endToEndApps()
+{
+    std::vector<const AppProfile *> out;
+    for (Suite suite : {Suite::DeathStar, Suite::Pillow, Suite::Ecommerce}) {
+        for (const auto *app : appsInSuite(suite))
+            out.push_back(app);
+    }
+    return out;
+}
+
+} // namespace catalyzer::apps

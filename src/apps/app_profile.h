@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Application and language-runtime profiles.
+ *
+ * A profile captures the structure of one serverless function's
+ * initialization and execution: how long its runtime (JVM, CPython, ...)
+ * takes to boot, how many classes/modules it loads, how much memory it
+ * touches, how many guest-kernel objects and I/O connections exist at the
+ * func-entry point, and what one request costs. Startup latencies in the
+ * benchmarks are *composed* from these structures plus the mechanisms —
+ * they are not looked up.
+ *
+ * The catalog covers the paper's workloads: hello + one real application
+ * for C, Java, Python, Ruby and Node.js (Fig. 11), the five DeathStar
+ * microservices, the five Pillow image tasks, and the four E-commerce
+ * functions (Fig. 13).
+ */
+
+#ifndef CATALYZER_APPS_APP_PROFILE_H
+#define CATALYZER_APPS_APP_PROFILE_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "objgraph/object_graph.h"
+#include "sim/time.h"
+
+namespace catalyzer::apps {
+
+/** Implementation language of the wrapped program. */
+enum class Language { C, Cpp, Java, Python, Ruby, NodeJs };
+
+const char *languageName(Language lang);
+
+/** Workload families for grouping in the end-to-end benches. */
+enum class Suite
+{
+    Micro,      ///< hello / real app pairs (Fig. 11)
+    DeathStar,  ///< social-network microservices (Fig. 13a)
+    Pillow,     ///< image processing (Fig. 13b)
+    Ecommerce,  ///< Java business functions (Fig. 13c)
+};
+
+/** Full description of one serverless function. */
+struct AppProfile
+{
+    std::string name;        ///< stable id, e.g. "java-specjbb"
+    std::string displayName; ///< paper label, e.g. "Java-SPECjbb"
+    Language language = Language::C;
+    Suite suite = Suite::Micro;
+
+    //
+    // Application initialization structure (dominates startup, Insight I).
+    //
+    /** Runtime core boot (JVM, CPython, V8, loader). */
+    sim::SimTime runtimeBootCost;
+    /** Classes / modules / shared objects loaded during init. */
+    std::size_t modulesLoaded = 0;
+    /** Per-module load+verify cost. */
+    sim::SimTime perModuleCost;
+    /** Application-specific setup after the runtime is up. */
+    sim::SimTime appSetupCost;
+
+    //
+    // Memory shape at the func-entry point.
+    //
+    std::size_t binaryPages = 0;      ///< file-backed code + libraries
+    std::size_t runtimeHeapPages = 0; ///< runtime-owned anonymous heap
+    std::size_t appHeapPages = 0;     ///< application data
+
+    //
+    // Guest system state at the func-entry point.
+    //
+    std::size_t kernelObjects = 0;  ///< metadata graph size (Sec. 2.2)
+    /**
+     * Fraction of kernel objects carrying pointers. Smaller runtimes
+     * have pointer-denser state (fewer bulk buffers), which is what
+     * spreads Table 3's per-function metadata costs.
+     */
+    double kernelPointerDensity = 0.13;
+    std::size_t ioConnections = 0;  ///< open files/sockets
+    /** Fraction of connections deterministically used right after boot. */
+    double ioStartupFraction = 0.25;
+    /** Fraction of connections a typical request touches. */
+    double ioRequestFraction = 0.10;
+    int blockingThreads = 2;        ///< Go-runtime blocking threads
+
+    //
+    // Execution model (one request at the handler).
+    //
+    /** Pure compute time of the handler. */
+    sim::SimTime execComputeCost;
+    /** Fraction of total heap the handler touches (Insight II). */
+    double execTouchFraction = 0.08;
+    /** Fraction of touched pages that are written. */
+    double execWriteFraction = 0.30;
+
+    //
+    // Rootfs shape (app layer on top of the base rootfs).
+    //
+    std::size_t rootfsFiles = 50;
+    std::size_t rootfsBytes = 8u << 20;
+
+    /** Total heap pages (runtime + app). */
+    std::size_t
+    heapPages() const
+    {
+        return runtimeHeapPages + appHeapPages;
+    }
+
+    /** Total application-initialization latency, excluding memory faults. */
+    sim::SimTime
+    initComputeCost() const
+    {
+        return runtimeBootCost +
+               perModuleCost * static_cast<std::int64_t>(modulesLoaded) +
+               appSetupCost;
+    }
+
+    /** Kernel-state shape for this app. */
+    objgraph::GraphSpec
+    graphSpec() const
+    {
+        objgraph::GraphSpec spec =
+            objgraph::GraphSpec::scaledTo(kernelObjects);
+        spec.pointerBearingFraction = kernelPointerDensity;
+        return spec;
+    }
+};
+
+/** Every profile in the catalog. */
+const std::vector<AppProfile> &allApps();
+
+/** Lookup by stable id; fatal on unknown names. */
+const AppProfile &appByName(std::string_view name);
+
+/** The ten Fig. 11 workloads, in the figure's order. */
+std::vector<const AppProfile *> figure11Apps();
+
+/** Suite accessors (Fig. 13). */
+std::vector<const AppProfile *> appsInSuite(Suite suite);
+
+/** The 14 end-to-end functions behind Fig. 1's CDF. */
+std::vector<const AppProfile *> endToEndApps();
+
+} // namespace catalyzer::apps
+
+#endif // CATALYZER_APPS_APP_PROFILE_H

@@ -1,0 +1,514 @@
+#include "catalyzer/runtime.h"
+
+#include <cmath>
+
+#include "guest/syscall_policy.h"
+#include "sim/clock.h"
+#include "sim/logging.h"
+#include "snapshot/io_reconnect.h"
+
+namespace catalyzer::core {
+
+using sandbox::BootKind;
+using sandbox::BootReport;
+using sandbox::BootResult;
+using sandbox::FunctionArtifacts;
+using sandbox::SandboxInstance;
+
+CatalyzerRuntime::CatalyzerRuntime(sandbox::Machine &machine,
+                                   CatalyzerOptions options)
+    : machine_(machine), options_(options), zygotes_(machine),
+      images_(machine.ctx()), lang_registry_(machine)
+{
+    if (options_.useZygote && options_.zygotePrewarm > 0)
+        zygotes_.prewarm(options_.zygotePrewarm);
+}
+
+BootResult
+CatalyzerRuntime::bootCold(FunctionArtifacts &fn)
+{
+    return bootRestore(fn, /*warm=*/false);
+}
+
+BootResult
+CatalyzerRuntime::bootWarm(FunctionArtifacts &fn)
+{
+    // Warm boot presumes earlier instances: establish the shared base
+    // (and the I/O cache) with one offline cold boot if missing.
+    if (!fn.sharedBase) {
+        // The primer instance is dropped immediately; the Base-EPT and
+        // the I/O cache survive in the artifacts.
+        bootRestore(fn, /*warm=*/false);
+    }
+    return bootRestore(fn, /*warm=*/true);
+}
+
+std::shared_ptr<snapshot::FuncImage>
+CatalyzerRuntime::acquireImage(FunctionArtifacts &fn)
+{
+    auto &ctx = machine_.ctx();
+    const bool was_built = static_cast<bool>(fn.separatedImage);
+    auto image = sandbox::ensureSeparatedImage(fn);
+
+    if (options_.remoteImages) {
+        // A freshly built image stands for one produced elsewhere: it
+        // goes to remote storage and this machine must fetch it.
+        if (!was_built) {
+            images_.publish(image);
+            images_.evictLocal(fn.app().name,
+                               snapshot::ImageFormat::SeparatedWellFormed);
+        }
+        image = images_.fetch(fn.app().name,
+                              snapshot::ImageFormat::SeparatedWellFormed);
+    }
+
+    if (options_.verifyImages &&
+        !snapshot::verifyImage(ctx, *image)) {
+        // Corrupted image: rebuild from a fresh checkpoint (offline) and
+        // republish, then continue with the clean copy.
+        ctx.stats().incr("catalyzer.image_rebuilds");
+        fn.separatedImage.reset();
+        // Any Base-EPT over the bad image must not serve new boots;
+        // live instances keep their shared_ptr until they exit.
+        fn.sharedBase.reset();
+        fn.firstRestoreDone = false;
+        image = sandbox::ensureSeparatedImage(fn);
+        if (options_.remoteImages)
+            images_.publish(image);
+    }
+    return image;
+}
+
+BootResult
+CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm)
+{
+    auto &ctx = machine_.ctx();
+    const auto &costs = ctx.costs();
+    const apps::AppProfile &app = fn.app();
+
+    // Offline build / remote fetch / integrity check as configured.
+    auto image = acquireImage(fn);
+
+    BootResult result;
+    sim::Stopwatch watch(ctx.clock());
+    const std::string tag =
+        (warm ? "warm" : "cold") + std::to_string(boot_seq_++);
+
+    //
+    // Sandbox acquisition. Warm boots specialize a Zygote; cold boots
+    // construct the sandbox on the path (with the tuned host: PML off,
+    // kvcalloc cache on), matching the paper's Catalyzer-restore.
+    //
+    std::unique_ptr<SandboxInstance> inst;
+    if (warm && options_.useZygote) {
+        Zygote z = zygotes_.acquire();
+        inst = std::make_unique<SandboxInstance>(
+            machine_, fn, app.name + "-" + tag, *z.proc,
+            BootKind::WarmRestore);
+        inst->setGuest(std::move(z.guest));
+        result.report.addSandboxStage("zygote-acquire", watch.elapsed());
+    } else {
+        ctx.charge(costs.parseConfig);
+        inst = sandbox::makeBareInstance(
+            fn, warm ? BootKind::WarmRestore : BootKind::ColdRestore,
+            tag.c_str());
+        sandbox::constructGVisorSandbox(*inst, ZygotePool::kvmConfig());
+        result.report.addSandboxStage("construct-sandbox",
+                                      watch.elapsed());
+    }
+    watch.restart();
+
+    //
+    // Specialize: append the function config, import its binaries and
+    // mount the function rootfs over the base.
+    //
+    ctx.charge(costs.zygoteAppendConfig);
+    const std::size_t binary_mib =
+        mem::bytesForPages(app.binaryPages) >> 20;
+    ctx.charge(costs.zygoteImportPerMiB *
+               static_cast<std::int64_t>(std::max<std::size_t>(
+                   binary_mib, 1)));
+    const mem::PageIndex binary_va = inst->space().mapFile(
+        fn.binary(), 0, app.binaryPages, mem::MapKind::FilePrivate,
+        false, "binary");
+    inst->guest().mountRootfs(1);
+    inst->setRootfs(std::make_unique<vfs::OverlayRootfs>(
+        ctx, fn.fsServer()));
+    result.report.addSandboxStage("specialize", watch.elapsed());
+    watch.restart();
+
+    //
+    // Overlay memory: map the func-image (cold) or share the live
+    // Base-EPT (warm).
+    //
+    const bool cold_cache = !warm && !fn.firstRestoreDone;
+    if (!fn.sharedBase) {
+        ctx.charge(costs.imageManifestParse);
+        fn.sharedBase = std::make_shared<mem::BaseMapping>(
+            machine_.frames(), image->file(), 0, image->totalPages(),
+            app.name + "-base");
+    } else if (!warm) {
+        ctx.charge(costs.imageManifestParse);
+    }
+    const mem::PageIndex base_va = inst->space().attachBase(fn.sharedBase);
+    const mem::PageIndex heap_va = base_va + image->memorySectionStart();
+    const std::size_t heap_pages = image->state().memoryPages;
+    if (!options_.overlayMemory) {
+        // Ablation: eagerly fault and copy the whole memory section.
+        inst->space().touchRange(heap_va, heap_pages, /*write=*/true,
+                                 cold_cache);
+    }
+    result.report.addAppStage(warm ? "share-mapping" : "map-image",
+                              watch.elapsed());
+    watch.restart();
+
+    //
+    // Separated state recovery: stage-1 map + stage-2 parallel fix-up,
+    // then establish non-I/O kernel state.
+    //
+    objgraph::ObjectGraph graph = options_.separatedState
+        ? image->separated().reconstruct()
+        : [&] {
+              // Ablation: one-by-one deserialization on the path.
+              const auto n = static_cast<std::int64_t>(
+                  image->separated().objectCount());
+              ctx.chargeCounted("restore.deserialized_objects",
+                                costs.deserializeObject * n, n);
+              return image->separated().reconstruct();
+          }();
+    const auto nobjects = static_cast<std::int64_t>(graph.objectCount());
+    if (options_.separatedState) {
+        const auto nrelocs =
+            static_cast<std::int64_t>(image->separated().relocCount());
+        ctx.chargeParallel(costs.relationFixupPerPointer, nrelocs);
+        ctx.stats().incr("catalyzer.pointer_fixups", nrelocs);
+        // Stage-2 dirties the pointer-bearing arena pages: real COW
+        // faults against the shared image mapping (Table 3's cost).
+        const mem::PageIndex arena_va =
+            base_va + image->metadataSectionStart();
+        for (std::uint64_t rel : image->separated().pointerPageList())
+            inst->space().touch(arena_va + rel, /*write=*/true,
+                                cold_cache);
+        ctx.chargeParallel(costs.redoObject, nobjects);
+        ctx.charge(costs.redoObjectSequentialPart * nobjects);
+    } else {
+        ctx.charge((costs.redoObject + costs.redoObjectSequentialPart) *
+                   nobjects);
+    }
+    inst->guest().setState(std::move(graph));
+    for (int i = 0; i < app.blockingThreads; ++i)
+        inst->guest().threads().addBlockingThread();
+    result.report.addAppStage("recover-kernel", watch.elapsed());
+    watch.restart();
+
+    //
+    // I/O: copy the checkpointed connection table; reconnect lazily
+    // (guided by the I/O cache on warm boots) or eagerly (ablation).
+    //
+    for (const vfs::IoConnection &saved : image->ioTable()) {
+        const std::uint64_t id = inst->guest().io().add(
+            saved.kind, saved.path, saved.usedAtStartup,
+            saved.usedByRequests);
+        inst->guest().io().find(id)->established = false;
+    }
+    if (!options_.lazyIoReconnection) {
+        for (auto &conn : inst->guest().io().all())
+            snapshot::reconnectConnection(ctx, conn, &fn.fsServer());
+    } else {
+        // Deferring is not free: each fd is tagged not-reopened and the
+        // async re-establishment is queued.
+        ctx.charge(costs.ioLazyMarkPerConn *
+                   static_cast<std::int64_t>(inst->guest().io().count()));
+        if (warm && !fn.ioCache.empty()) {
+            // The cache tells us which connections the function uses
+            // right after boot; re-establish exactly those on the path.
+            for (auto &conn : inst->guest().io().all()) {
+                if (conn.usedAtStartup)
+                    snapshot::reconnectConnection(ctx, conn,
+                                                  &fn.fsServer());
+            }
+            ctx.stats().incr("catalyzer.io_cache_hits");
+        }
+    }
+    if (!warm && options_.lazyIoReconnection && fn.ioCache.empty()) {
+        // First cold boot records the deterministic startup set.
+        for (const auto &conn : inst->guest().io().all()) {
+            if (conn.usedAtStartup)
+                fn.ioCache.push_back(conn);
+        }
+    }
+    inst->guest().syncFdTable();
+    result.report.addAppStage("reconnect-io", watch.elapsed());
+
+    inst->setMemoryLayout(binary_va, heap_va, heap_pages,
+                          /*heap_on_base=*/true);
+    // A warmed image (user-guided pre-initialization) carries the
+    // handler's preparation work; restored instances skip it.
+    inst->setPrepFraction(image->state().warmedPrepFraction);
+    inst->proc().setThreadCount(inst->guest().threads().totalThreads());
+    inst->setBootLatency(result.report.total());
+    fn.firstRestoreDone = true;
+    ctx.stats().incr(warm ? "catalyzer.warm_boots"
+                          : "catalyzer.cold_boots");
+    result.instance = std::move(inst);
+    return result;
+}
+
+std::unique_ptr<SandboxInstance>
+CatalyzerRuntime::sforkFrom(SandboxInstance &tmpl, FunctionArtifacts &fn,
+                            BootReport &report, const char *tag)
+{
+    auto &ctx = machine_.ctx();
+    const auto &costs = ctx.costs();
+    sim::Stopwatch watch(ctx.clock());
+
+    hostos::SforkOptions opts;
+    opts.childName = fn.app().name + "-" + tag;
+    opts.rerandomizeAslr = options_.aslrRerandomizeOnSfork;
+    hostos::HostProcess &child =
+        machine_.host().sfork(tmpl.proc(), opts);
+    report.addSandboxStage("sfork", watch.elapsed());
+    watch.restart();
+
+    auto inst = std::make_unique<SandboxInstance>(
+        machine_, fn, opts.childName, child, BootKind::ForkBoot);
+
+    // Guest state: the object graph and fd tables live in COWed memory;
+    // the child re-expands its threads from the saved contexts and fixes
+    // the handled-syscall state (Table 1).
+    auto guest = std::make_unique<guest::GuestKernel>(
+        ctx, opts.childName + "-kernel");
+    guest->setState(tmpl.guest().state());
+    guest->threads().adoptTransientState(tmpl.guest().threads());
+    guest->threads().expandFromTransient();
+    for (const auto &conn : tmpl.guest().io().all()) {
+        const std::uint64_t id = guest->io().add(
+            conn.kind, conn.path, conn.usedAtStartup,
+            conn.usedByRequests);
+        // Read-only file descriptors stay valid across sfork; sockets
+        // must reconnect (lazily, via the Reconnect handler).
+        guest->io().find(id)->established =
+            conn.established && conn.kind != vfs::ConnKind::Socket;
+    }
+    guest->syncFdTable();
+    const auto handled = static_cast<std::int64_t>(
+        guest::syscallsWithClass(guest::SyscallClass::Handled).size());
+    ctx.charge(costs.syscallBase * handled);
+
+    inst->setGuest(std::move(guest));
+    if (tmpl.rootfs())
+        inst->setRootfs(tmpl.rootfs()->clone());
+    inst->setMemoryLayout(0, tmpl.heapVa(), tmpl.heapPages(),
+                          tmpl.heapOnBase());
+    inst->setPrepFraction(tmpl.prepFraction());
+    inst->proc().setThreadCount(inst->guest().threads().totalThreads());
+    report.addSandboxStage("expand", watch.elapsed());
+    ctx.stats().incr("catalyzer.fork_boots");
+    return inst;
+}
+
+BootResult
+CatalyzerRuntime::bootFork(FunctionArtifacts &fn)
+{
+    SandboxInstance &tmpl = ensureTemplate(fn); // offline
+    BootResult result;
+    result.instance = sforkFrom(
+        tmpl, fn, result.report,
+        ("fork" + std::to_string(boot_seq_++)).c_str());
+    result.instance->setBootLatency(result.report.total());
+    return result;
+}
+
+BootResult
+CatalyzerRuntime::bootFromLanguageTemplate(FunctionArtifacts &fn)
+{
+    auto &ctx = machine_.ctx();
+    const auto &costs = ctx.costs();
+    const apps::AppProfile &app = fn.app();
+    SandboxInstance &tmpl = ensureLanguageTemplate(app.language);
+
+    BootResult result;
+    result.instance = sforkFrom(
+        tmpl, fn, result.report,
+        ("lang" + std::to_string(boot_seq_++)).c_str());
+    SandboxInstance &inst = *result.instance;
+    sim::Stopwatch watch(ctx.clock());
+
+    //
+    // Load the function on demand: its own classes/modules beyond the
+    // runtime core the template preloaded, its binary, and any heap it
+    // needs beyond the template's.
+    //
+    const apps::AppProfile &base =
+        tmpl.artifacts().app(); // the language's hello app
+    const auto core = static_cast<std::size_t>(
+        options_.languageTemplateCoreFraction *
+        static_cast<double>(base.modulesLoaded));
+    const std::size_t extra_modules =
+        app.modulesLoaded > core ? app.modulesLoaded - core : 0;
+    ctx.charge(app.perModuleCost *
+               static_cast<std::int64_t>(extra_modules) *
+               costs.gvisorAppInitFactor);
+
+    const mem::PageIndex binary_va = inst.space().mapFile(
+        fn.binary(), 0, app.binaryPages, mem::MapKind::FilePrivate,
+        false, "fn-binary");
+    inst.space().touchRange(binary_va, app.binaryPages / 4,
+                            /*write=*/false, !fn.firstBootDone);
+
+    if (app.heapPages() > tmpl.heapPages()) {
+        const std::size_t extra = app.heapPages() - tmpl.heapPages();
+        const mem::PageIndex extra_va =
+            inst.space().mapAnon(extra, true, "fn-heap");
+        inst.space().touchRange(extra_va, extra, /*write=*/true);
+    }
+
+    // The function's own I/O connections are opened as it initializes,
+    // beyond the ones inherited from the language template.
+    const std::size_t inherited = inst.guest().io().count();
+    for (std::size_t i = inherited; i < app.ioConnections; ++i) {
+        const bool socket = i % 4 == 1;
+        if (socket) {
+            ctx.charge(costs.openSocket);
+            inst.guest().io().add(vfs::ConnKind::Socket,
+                                  "tcp://backend:" + std::to_string(i),
+                                  i < app.ioConnections / 4, i % 2 == 0);
+        } else {
+            vfs::FdEntry entry;
+            const std::string path =
+                "/app/data/conn" + std::to_string(i);
+            fn.fsServer().openReadOnly(path, &entry);
+            inst.guest().io().add(vfs::ConnKind::File, path,
+                                  i < app.ioConnections / 4, i % 2 == 0);
+        }
+    }
+    inst.guest().setState(objgraph::ObjectGraph::synthesize(
+        ctx.rng(), app.graphSpec()));
+    result.report.addAppStage("load-function", watch.elapsed());
+
+    inst.setBootLatency(result.report.total());
+    ctx.stats().incr("catalyzer.lang_template_boots");
+    return result;
+}
+
+SandboxInstance &
+CatalyzerRuntime::ensureTemplate(FunctionArtifacts &fn)
+{
+    auto it = templates_.find(fn.app().name);
+    if (it != templates_.end())
+        return *it->second;
+
+    // Offline template initialization: restore an instance to the
+    // func-entry point. The template is a *running* sandbox, so its I/O
+    // connections come up (offline) before it collapses into the
+    // transient single-thread state for sforking.
+    BootResult boot = bootRestore(fn, /*warm=*/false);
+    std::unique_ptr<SandboxInstance> tmpl = std::move(boot.instance);
+    for (auto &conn : tmpl->guest().io().all())
+        snapshot::reconnectConnection(machine_.ctx(), conn,
+                                      &fn.fsServer());
+    tmpl->guest().threads().enterTransientSingleThread();
+    tmpl->proc().setThreadCount(1);
+    machine_.ctx().stats().incr("catalyzer.templates_built");
+    auto &ref = *tmpl;
+    templates_.emplace(fn.app().name, std::move(tmpl));
+    return ref;
+}
+
+SandboxInstance &
+CatalyzerRuntime::ensureLanguageTemplate(apps::Language lang)
+{
+    auto it = lang_templates_.find(lang);
+    if (it != lang_templates_.end())
+        return *it->second;
+
+    static const std::map<apps::Language, const char *> kBaseApp = {
+        {apps::Language::C, "c-hello"},
+        {apps::Language::Cpp, "ds-uniqueid"},
+        {apps::Language::Java, "java-hello"},
+        {apps::Language::Python, "python-hello"},
+        {apps::Language::Ruby, "ruby-hello"},
+        {apps::Language::NodeJs, "nodejs-hello"},
+    };
+    const apps::AppProfile &base = apps::appByName(kBaseApp.at(lang));
+    FunctionArtifacts &base_fn = lang_registry_.artifactsFor(base);
+
+    BootResult boot = bootRestore(base_fn, /*warm=*/false);
+    std::unique_ptr<SandboxInstance> tmpl = std::move(boot.instance);
+    for (auto &conn : tmpl->guest().io().all())
+        snapshot::reconnectConnection(machine_.ctx(), conn,
+                                      &base_fn.fsServer());
+    tmpl->guest().threads().enterTransientSingleThread();
+    tmpl->proc().setThreadCount(1);
+    machine_.ctx().stats().incr("catalyzer.lang_templates_built");
+    auto &ref = *tmpl;
+    lang_templates_.emplace(lang, std::move(tmpl));
+    return ref;
+}
+
+void
+CatalyzerRuntime::prepareTemplate(FunctionArtifacts &fn)
+{
+    ensureTemplate(fn);
+}
+
+void
+CatalyzerRuntime::warmFuncImage(FunctionArtifacts &fn,
+                                int training_requests,
+                                double prep_fraction)
+{
+    auto &ctx = machine_.ctx();
+    // Boot an instance and warm it with the user-provided training
+    // requests (all offline).
+    BootResult boot = bootRestore(fn, /*warm=*/false);
+    SandboxInstance &inst = *boot.instance;
+    inst.setPrepFraction(prep_fraction);
+    for (int i = 0; i < training_requests; ++i)
+        inst.invoke();
+    inst.pretouchWorkingSet();
+
+    // Re-checkpoint at the moved func-entry point.
+    snapshot::GuestState state = inst.captureState();
+    state.warmedPrepFraction = prep_fraction;
+    snapshot::CheckpointEngine engine(ctx);
+    fn.separatedImage = engine.capture(
+        machine_.frames(), fn.app().name,
+        snapshot::ImageFormat::SeparatedWellFormed, std::move(state));
+    // The old Base-EPT serves the stale image; future boots remap.
+    fn.sharedBase.reset();
+    fn.firstRestoreDone = false;
+    if (options_.remoteImages)
+        images_.publish(fn.separatedImage);
+    ctx.stats().incr("catalyzer.images_warmed");
+}
+
+void
+CatalyzerRuntime::refreshTemplate(FunctionArtifacts &fn)
+{
+    // Sec. 6.8: periodically regenerating the template re-randomizes
+    // the layout shared by sforked children.
+    dropTemplate(fn.app().name);
+    ensureTemplate(fn);
+    machine_.ctx().stats().incr("catalyzer.template_refreshes");
+}
+
+void
+CatalyzerRuntime::prepareLanguageTemplate(apps::Language lang)
+{
+    ensureLanguageTemplate(lang);
+}
+
+void
+CatalyzerRuntime::dropTemplate(const std::string &function_name)
+{
+    templates_.erase(function_name);
+}
+
+SandboxInstance *
+CatalyzerRuntime::templateFor(const std::string &function_name)
+{
+    auto it = templates_.find(function_name);
+    return it == templates_.end() ? nullptr : it->second.get();
+}
+
+} // namespace catalyzer::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Catalyzer runtime: init-less booting for one machine.
+ *
+ * Implements the paper's three boot paths (Fig. 7):
+ *  - cold boot: on-demand restore from a well-formed func-image
+ *    (overlay memory + separated state recovery + on-demand I/O
+ *    reconnection), constructing the sandbox with the tuned host;
+ *  - warm boot: the same restore sharing a Zygote from the pool and the
+ *    live Base-EPT of earlier instances;
+ *  - fork boot: sfork from a per-function template sandbox.
+ * Plus language runtime templates (Sec. 4.3) for fast cold boots of
+ * lightweight functions.
+ */
+
+#ifndef CATALYZER_CATALYZER_RUNTIME_H
+#define CATALYZER_CATALYZER_RUNTIME_H
+
+#include <map>
+#include <memory>
+
+#include "apps/app_profile.h"
+#include "catalyzer/zygote.h"
+#include "sandbox/function_artifacts.h"
+#include "sandbox/pipelines.h"
+#include "snapshot/image_store.h"
+
+namespace catalyzer::core {
+
+/** Feature switches; the defaults are full Catalyzer. Turning individual
+ *  techniques off reproduces the ablation rows of Fig. 12. */
+struct CatalyzerOptions
+{
+    bool useZygote = true;          ///< Zygote pool for warm boots
+    bool overlayMemory = true;      ///< direct-map + COW vs eager load
+    bool separatedState = true;     ///< relation table vs per-object decode
+    bool lazyIoReconnection = true; ///< on-demand vs eager reconnect
+    bool aslrRerandomizeOnSfork = false; ///< Sec. 6.8 mitigation
+    /**
+     * Images live in remote storage: the first cold boot of a function
+     * on this machine pays the network fetch (Sec. 2.2, init-less
+     * booting: "a serverless platform needs to fetch a func-image
+     * first").
+     */
+    bool remoteImages = false;
+    /** Verify image checksums before restoring; corrupted images are
+     *  rebuilt from a fresh checkpoint. */
+    bool verifyImages = false;
+    /** Fraction of each hello-app's modules preloaded by the language
+     *  runtime template. */
+    double languageTemplateCoreFraction = 0.8;
+    std::size_t zygotePrewarm = 4;
+};
+
+/** One Catalyzer deployment on a machine. */
+class CatalyzerRuntime
+{
+  public:
+    explicit CatalyzerRuntime(sandbox::Machine &machine,
+                              CatalyzerOptions options = {});
+
+    /** Cold boot: full on-demand restore, sandbox built on the path. */
+    sandbox::BootResult bootCold(sandbox::FunctionArtifacts &fn);
+
+    /** Warm boot: Zygote + shared Base-EPT + I/O cache. */
+    sandbox::BootResult bootWarm(sandbox::FunctionArtifacts &fn);
+
+    /** Fork boot: sfork from the function's template sandbox. */
+    sandbox::BootResult bootFork(sandbox::FunctionArtifacts &fn);
+
+    /**
+     * Cold boot via the per-language runtime template (Table 2): sfork
+     * the language template, then load the function's own modules.
+     */
+    sandbox::BootResult
+    bootFromLanguageTemplate(sandbox::FunctionArtifacts &fn);
+
+    /** Build the function's template sandbox now (offline). */
+    void prepareTemplate(sandbox::FunctionArtifacts &fn);
+
+    /**
+     * User-guided pre-initialization (Sec. 6.7): re-checkpoint the
+     * function after warming it with @p training_requests user-provided
+     * requests, baking @p prep_fraction of the handler's per-request
+     * preparation into the func-image. Later cold/warm boots start with
+     * that work done (and fork boots, once the template is rebuilt).
+     */
+    void warmFuncImage(sandbox::FunctionArtifacts &fn,
+                       int training_requests, double prep_fraction);
+
+    /**
+     * Rebuild a function's template sandbox (Sec. 6.8: periodically
+     * refreshing templates re-randomizes the shared layout).
+     */
+    void refreshTemplate(sandbox::FunctionArtifacts &fn);
+
+    /** Build the language template for @p lang now (offline). */
+    void prepareLanguageTemplate(apps::Language lang);
+
+    /** Drop a function's template (frees its memory). */
+    void dropTemplate(const std::string &function_name);
+
+    ZygotePool &zygotes() { return zygotes_; }
+    snapshot::ImageStore &images() { return images_; }
+    const CatalyzerOptions &options() const { return options_; }
+    sandbox::Machine &machine() { return machine_; }
+
+    /** The function's template instance, if prepared. */
+    sandbox::SandboxInstance *
+    templateFor(const std::string &function_name);
+
+  private:
+    sandbox::BootResult bootRestore(sandbox::FunctionArtifacts &fn,
+                                    bool warm);
+    std::shared_ptr<snapshot::FuncImage>
+    acquireImage(sandbox::FunctionArtifacts &fn);
+    std::unique_ptr<sandbox::SandboxInstance>
+    sforkFrom(sandbox::SandboxInstance &tmpl,
+              sandbox::FunctionArtifacts &fn, sandbox::BootReport &report,
+              const char *tag);
+    sandbox::SandboxInstance &ensureTemplate(sandbox::FunctionArtifacts &fn);
+    sandbox::SandboxInstance &
+    ensureLanguageTemplate(apps::Language lang);
+
+    sandbox::Machine &machine_;
+    CatalyzerOptions options_;
+    ZygotePool zygotes_;
+    snapshot::ImageStore images_;
+    std::map<std::string, std::unique_ptr<sandbox::SandboxInstance>>
+        templates_;
+    std::map<apps::Language, std::unique_ptr<sandbox::SandboxInstance>>
+        lang_templates_;
+    /** Artifacts for the language-base (hello) apps. */
+    sandbox::FunctionRegistry lang_registry_;
+    std::uint64_t boot_seq_ = 0;
+};
+
+} // namespace catalyzer::core
+
+#endif // CATALYZER_CATALYZER_RUNTIME_H

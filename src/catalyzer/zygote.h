@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Virtualization sandbox Zygote (paper Sec. 3.4).
+ *
+ * A Zygote is a generalized, function-independent sandbox: base config
+ * parsed, sandbox process spawned, KVM resources allocated (with
+ * Catalyzer's host tuning: PML off, kvcalloc cache on), Sentry
+ * initialized, base rootfs mounted, Go runtime running. Specializing it
+ * for a function only appends the function config and imports its
+ * binaries, taking the whole sandbox construction off the critical path.
+ */
+
+#ifndef CATALYZER_CATALYZER_ZYGOTE_H
+#define CATALYZER_CATALYZER_ZYGOTE_H
+
+#include <memory>
+#include <vector>
+
+#include "guest/guest_kernel.h"
+#include "hostos/kvm.h"
+#include "hostos/process.h"
+#include "sandbox/machine.h"
+
+namespace catalyzer::core {
+
+/** One pre-built generalized sandbox. */
+struct Zygote
+{
+    hostos::HostProcess *proc = nullptr;
+    std::unique_ptr<guest::GuestKernel> guest;
+};
+
+/**
+ * Cache of pre-built Zygotes for one machine. prewarm() runs offline;
+ * acquire() hands a sandbox to a boot with nothing left to construct.
+ * On a cache miss the Zygote is built on the critical path (still fast,
+ * thanks to the Catalyzer KVM configuration).
+ */
+class ZygotePool
+{
+  public:
+    explicit ZygotePool(sandbox::Machine &machine);
+
+    /** Catalyzer's host configuration: PML off, kvcalloc cache on. */
+    static hostos::KvmConfig kvmConfig();
+
+    /** Build @p n Zygotes into the cache (offline) and raise the
+     *  replenish target to at least @p n. */
+    void prewarm(std::size_t n);
+
+    /** Take a Zygote (cached if available, else built now). */
+    Zygote acquire();
+
+    /**
+     * Background maintenance: rebuild the cache up to the target size.
+     * The platform calls this after a request completes, modelling the
+     * offline zygote builder that keeps the pool full.
+     */
+    void replenish();
+
+    void setTarget(std::size_t n) { target_ = n; }
+    std::size_t target() const { return target_; }
+
+    std::size_t cached() const { return pool_.size(); }
+    std::size_t built() const { return built_; }
+    std::size_t misses() const { return misses_; }
+
+  private:
+    Zygote build();
+
+    sandbox::Machine &machine_;
+    std::vector<Zygote> pool_;
+    std::size_t target_ = 0;
+    std::size_t built_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace catalyzer::core
+
+#endif // CATALYZER_CATALYZER_ZYGOTE_H

@@ -1,0 +1,91 @@
+#include "guest/guest_kernel.h"
+
+#include "sim/logging.h"
+
+namespace catalyzer::guest {
+
+GuestKernel::GuestKernel(sim::SimContext &ctx, std::string name)
+    : ctx_(ctx), name_(std::move(name)), threads_(ctx)
+{
+}
+
+void
+GuestKernel::initializeFresh()
+{
+    if (initialized_)
+        sim::panic("GuestKernel %s: double init", name_.c_str());
+    initialized_ = true;
+    ctx_.chargeCounted("guest.sentry_inits", ctx_.costs().sentryInitFixed);
+}
+
+void
+GuestKernel::startGoRuntime(int runtime_threads, int scheduling_threads)
+{
+    threads_.start(runtime_threads, scheduling_threads);
+}
+
+void
+GuestKernel::mountRootfs(int count)
+{
+    mounts_ += count;
+    ctx_.chargeCounted("guest.mounts",
+                       ctx_.costs().mountFs *
+                           static_cast<std::int64_t>(count),
+                       count);
+}
+
+bool
+GuestKernel::syscall(const std::string &name)
+{
+    switch (classifySyscall(name)) {
+      case SyscallClass::Denied:
+        ctx_.stats().incr("guest.denied_syscalls");
+        return false;
+      case SyscallClass::Handled:
+        ctx_.stats().incr("guest.handled_syscalls");
+        break;
+      case SyscallClass::Allowed:
+        ctx_.stats().incr("guest.allowed_syscalls");
+        break;
+    }
+    ctx_.charge(ctx_.costs().syscallBase);
+    return true;
+}
+
+void
+GuestKernel::syncFdTable()
+{
+    fds_ = vfs::FdTable{};
+    for (const auto &conn : io_.all()) {
+        vfs::FdKind kind = vfs::FdKind::File;
+        if (conn.kind == vfs::ConnKind::Socket)
+            kind = vfs::FdKind::Socket;
+        else if (conn.kind == vfs::ConnKind::LogFile)
+            kind = vfs::FdKind::LogFile;
+        fds_.allocate(vfs::FdEntry{kind, conn.path,
+                                   conn.kind != vfs::ConnKind::LogFile,
+                                   conn.established, conn.id});
+    }
+}
+
+std::size_t
+GuestKernel::pendingFds() const
+{
+    std::size_t pending = 0;
+    for (const auto &[fd, entry] : fds_.liveEntries()) {
+        if (!entry.connected)
+            ++pending;
+    }
+    return pending;
+}
+
+void
+GuestKernel::reachFuncEntryPoint()
+{
+    at_entry_point_ = true;
+    // The Gen-Func-Image trap itself is one guest syscall.
+    ctx_.charge(ctx_.costs().syscallBase);
+    ctx_.stats().incr("guest.func_entry_traps");
+}
+
+} // namespace catalyzer::guest

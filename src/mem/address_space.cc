@@ -1,0 +1,283 @@
+#include "mem/address_space.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace catalyzer::mem {
+
+AddressSpace::AddressSpace(sim::SimContext &ctx, FrameStore &store,
+                           std::string name)
+    : ctx_(ctx), store_(store), name_(std::move(name))
+{
+}
+
+AddressSpace::~AddressSpace()
+{
+    for (auto &[page, pte] : table_)
+        store_.unref(pte.frame);
+    if (base_)
+        base_->detach();
+}
+
+PageIndex
+AddressSpace::mapAnon(std::size_t npages, bool writable, std::string name)
+{
+    const PageIndex start = next_va_;
+    next_va_ += npages + 1; // one-page guard gap
+    vmas_.push_back(Vma{start, npages, MapKind::Anon, writable, true,
+                        nullptr, 0, std::move(name)});
+    ctx_.chargeCounted("mem.mmap_calls", ctx_.costs().mmapRegion);
+    return start;
+}
+
+PageIndex
+AddressSpace::mapFile(BackingFile &file, PageIndex file_start,
+                      std::size_t npages, MapKind kind, bool writable,
+                      std::string name)
+{
+    if (kind == MapKind::Anon)
+        sim::panic("mapFile with MapKind::Anon");
+    if (file_start + npages > file.npages())
+        sim::panic("mapFile %s: range beyond EOF", name.c_str());
+    const PageIndex start = next_va_;
+    next_va_ += npages + 1;
+    vmas_.push_back(Vma{start, npages, kind, writable, true, &file,
+                        file_start, std::move(name)});
+    ctx_.chargeCounted("mem.mmap_calls", ctx_.costs().mmapRegion);
+    return start;
+}
+
+PageIndex
+AddressSpace::attachBase(std::shared_ptr<BaseMapping> base)
+{
+    if (base_)
+        sim::panic("AddressSpace %s: base already attached", name_.c_str());
+    base_ = std::move(base);
+    base_->attach();
+    base_va_start_ = next_va_;
+    next_va_ += base_->npages() + 1;
+    // Sharing the mapping is one mmap of the already-open image: the
+    // whole point of the share-mapping operation is that no file loading
+    // happens here.
+    ctx_.chargeCounted("mem.base_attach", ctx_.costs().mmapRegion);
+    return base_va_start_;
+}
+
+void
+AddressSpace::unmap(PageIndex start)
+{
+    auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                           [start](const Vma &v) { return v.start == start; });
+    if (it == vmas_.end())
+        sim::panic("AddressSpace %s: unmap of unknown VMA", name_.c_str());
+    for (PageIndex p = it->start; p < it->start + it->npages; ++p) {
+        if (Pte *pte = table_.lookupMutable(p)) {
+            store_.unref(pte->frame);
+            table_.erase(p);
+        }
+    }
+    vmas_.erase(it);
+    ctx_.chargeCounted("mem.munmap_calls", ctx_.costs().mmapRegion);
+}
+
+const Vma *
+AddressSpace::findVma(PageIndex page) const
+{
+    for (const auto &vma : vmas_) {
+        if (vma.contains(page))
+            return &vma;
+    }
+    return nullptr;
+}
+
+void
+AddressSpace::installCowCopy(PageIndex page, FrameId src_frame)
+{
+    const FrameId copy = store_.allocate(FrameSource::Anonymous);
+    (void)src_frame; // contents are not modelled, only accounting
+    table_.install(page, Pte{copy, true, false});
+}
+
+FaultResult
+AddressSpace::resolveBaseAccess(PageIndex page, bool write, bool cold)
+{
+    const PageIndex rel = page - base_va_start_;
+    const Pte *bpte = base_->lookup(rel);
+    bool filled = false;
+    if (!bpte) {
+        base_->populate(ctx_, rel, cold);
+        bpte = base_->lookup(rel);
+        filled = true;
+    }
+    if (!write) {
+        // The hardware merges Private- and Base-EPT; a read through the
+        // base needs no private entry and no further cost.
+        return filled ? FaultResult::BaseFill : FaultResult::BaseHit;
+    }
+    // Write: copy the base page into the Private-EPT.
+    ctx_.chargeCounted("mem.cow_faults", ctx_.costs().cowFault);
+    installCowCopy(page, bpte->frame);
+    return FaultResult::BaseCow;
+}
+
+FaultResult
+AddressSpace::touch(PageIndex page, bool write, bool cold)
+{
+    if (Pte *pte = table_.lookupMutable(page)) {
+        if (!write || pte->writable)
+            return FaultResult::None;
+        if (!pte->cow)
+            sim::panic("AddressSpace %s: write to read-only page %llu",
+                       name_.c_str(),
+                       static_cast<unsigned long long>(page));
+        // COW write fault.
+        const std::size_t refs = store_.refCount(pte->frame);
+        const bool cache_backed =
+            store_.source(pte->frame) == FrameSource::PageCache;
+        if (refs == 1 && !cache_backed) {
+            // Sole owner: reuse in place, no copy.
+            pte->writable = true;
+            pte->cow = false;
+            ctx_.chargeCounted("mem.cow_reuse", ctx_.costs().demandFaultAnon);
+            return FaultResult::CowReuse;
+        }
+        ctx_.chargeCounted("mem.cow_faults", ctx_.costs().cowFault);
+        const FrameId old = pte->frame;
+        installCowCopy(page, old);
+        store_.unref(old);
+        return FaultResult::Cow;
+    }
+
+    if (base_ && page >= base_va_start_ &&
+        page < base_va_start_ + base_->npages()) {
+        return resolveBaseAccess(page, write, cold);
+    }
+
+    const Vma *vma = findVma(page);
+    if (!vma)
+        sim::panic("AddressSpace %s: fault on unmapped page %llu",
+                   name_.c_str(), static_cast<unsigned long long>(page));
+    if (write && !vma->writable)
+        sim::panic("AddressSpace %s: write to read-only VMA %s",
+                   name_.c_str(), vma->name.c_str());
+
+    switch (vma->kind) {
+      case MapKind::Anon: {
+        ctx_.chargeCounted("mem.minor_faults_anon",
+                           ctx_.costs().demandFaultAnon);
+        const FrameId frame = store_.allocate(FrameSource::Anonymous);
+        table_.install(page, Pte{frame, vma->writable, false});
+        return FaultResult::MinorAnon;
+      }
+      case MapKind::FilePrivate: {
+        ctx_.chargeCounted("mem.minor_faults_file",
+                           ctx_.costs().demandFaultFile);
+        const PageIndex fpage = vma->fileStart + (page - vma->start);
+        const FrameId frame = vma->file->frameFor(ctx_, fpage, cold);
+        if (write) {
+            // Fill and immediately COW.
+            ctx_.chargeCounted("mem.cow_faults", ctx_.costs().cowFault);
+            installCowCopy(page, frame);
+            return FaultResult::Cow;
+        }
+        store_.ref(frame);
+        table_.install(page, Pte{frame, false, true});
+        return FaultResult::MinorFile;
+      }
+      case MapKind::FileShared: {
+        ctx_.chargeCounted("mem.minor_faults_file",
+                           ctx_.costs().demandFaultFile);
+        const PageIndex fpage = vma->fileStart + (page - vma->start);
+        const FrameId frame = vma->file->frameFor(ctx_, fpage, cold);
+        store_.ref(frame);
+        table_.install(page, Pte{frame, vma->writable, false});
+        return FaultResult::MinorFile;
+      }
+    }
+    sim::panic("unreachable");
+}
+
+std::size_t
+AddressSpace::touchRange(PageIndex start, std::size_t npages, bool write,
+                         bool cold)
+{
+    std::size_t faults = 0;
+    for (PageIndex p = start; p < start + npages; ++p) {
+        if (touch(p, write, cold) != FaultResult::None)
+            ++faults;
+    }
+    return faults;
+}
+
+std::unique_ptr<AddressSpace>
+AddressSpace::forkCow(std::string child_name, bool honor_cow_flag)
+{
+    auto child = std::make_unique<AddressSpace>(ctx_, store_,
+                                                std::move(child_name));
+    child->vmas_ = vmas_;
+    child->next_va_ = next_va_;
+
+    const auto &costs = ctx_.costs();
+    ctx_.charge(costs.sforkPerVma * static_cast<std::int64_t>(vmas_.size()));
+    ctx_.clock().advanceParallel(
+        costs.sforkPtePerBatch,
+        static_cast<std::int64_t>(
+            (table_.presentPages() + kPtesPerTable - 1) / kPtesPerTable),
+        1);
+
+    for (auto &[page, pte] : table_) {
+        const Vma *vma = findVma(page);
+        const bool truly_shared =
+            vma && vma->kind == MapKind::FileShared &&
+            (!honor_cow_flag || !vma->cowOnFork);
+        store_.ref(pte.frame);
+        if (truly_shared) {
+            child->table_.install(page, pte);
+        } else {
+            pte.cow = pte.cow || pte.writable;
+            pte.writable = false;
+            child->table_.install(page, pte);
+        }
+    }
+    ctx_.stats().incr("mem.fork_cow_pages",
+                      static_cast<std::int64_t>(table_.presentPages()));
+
+    if (base_) {
+        child->base_ = base_;
+        child->base_->attach();
+        child->base_va_start_ = base_va_start_;
+    }
+    return child;
+}
+
+std::size_t
+AddressSpace::rssPages() const
+{
+    std::size_t pages = table_.presentPages();
+    if (base_)
+        pages += base_->residentPages();
+    return pages;
+}
+
+double
+AddressSpace::pssBytes() const
+{
+    double bytes = 0.0;
+    for (const auto &[page, pte] : table_) {
+        std::size_t divisor = store_.refCount(pte.frame);
+        if (store_.source(pte.frame) == FrameSource::PageCache &&
+            divisor > 1) {
+            --divisor; // the page cache's own reference does not count
+        }
+        bytes += static_cast<double>(kPageSize) /
+                 static_cast<double>(std::max<std::size_t>(divisor, 1));
+    }
+    if (base_ && base_->attachCount() > 0) {
+        bytes += static_cast<double>(base_->residentBytes()) /
+                 static_cast<double>(base_->attachCount());
+    }
+    return bytes;
+}
+
+} // namespace catalyzer::mem

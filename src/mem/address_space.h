@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Per-sandbox address space: VMAs plus the Private-EPT, optionally layered
+ * over a shared Base-EPT (overlay memory).
+ */
+
+#ifndef CATALYZER_MEM_ADDRESS_SPACE_H
+#define CATALYZER_MEM_ADDRESS_SPACE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/backing_file.h"
+#include "mem/base_mapping.h"
+#include "mem/frame_store.h"
+#include "mem/page_table.h"
+#include "sim/context.h"
+
+namespace catalyzer::mem {
+
+/** Mapping flavor of one VMA. */
+enum class MapKind
+{
+    Anon,        ///< demand-zero anonymous memory
+    FilePrivate, ///< MAP_PRIVATE file mapping (COW on write)
+    FileShared,  ///< MAP_SHARED file mapping
+};
+
+/** What a touch() resolved to; used by tests and stats. */
+enum class FaultResult
+{
+    None,      ///< already mapped with sufficient rights
+    MinorAnon, ///< demand-zero fill
+    MinorFile, ///< file-backed fill from page cache
+    Cow,       ///< copy-on-write duplication
+    CowReuse,  ///< sole-owner COW resolved by remap (no copy)
+    BaseHit,   ///< satisfied read-only by the shared Base-EPT
+    BaseFill,  ///< Base-EPT populated from the func-image, then read
+    BaseCow,   ///< write to a base page copied into the Private-EPT
+};
+
+/** One virtual memory area. */
+struct Vma
+{
+    PageIndex start = 0;
+    std::size_t npages = 0;
+    MapKind kind = MapKind::Anon;
+    bool writable = true;
+    /**
+     * The paper's kernel CoW flag: when set, a MAP_SHARED region is
+     * downgraded to COW across sfork instead of being shared with the
+     * child (Sec. 4, "handling of shared memory").
+     */
+    bool cowOnFork = true;
+    BackingFile *file = nullptr;
+    PageIndex fileStart = 0;
+    std::string name;
+
+    bool
+    contains(PageIndex page) const
+    {
+        return page >= start && page < start + npages;
+    }
+};
+
+/**
+ * A sandbox's guest-physical address space.
+ *
+ * Owns the Private-EPT; may be attached to a shared BaseMapping
+ * (Base-EPT). All page faults — demand fill, COW, base fill — are
+ * resolved here and charged to the SimContext, so startup and execution
+ * latencies emerge from real fault counts.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace(sim::SimContext &ctx, FrameStore &store, std::string name);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /** Map anonymous memory; returns the start page. */
+    PageIndex mapAnon(std::size_t npages, bool writable, std::string name);
+
+    /** Map a file range; returns the start page. */
+    PageIndex mapFile(BackingFile &file, PageIndex file_start,
+                      std::size_t npages, MapKind kind, bool writable,
+                      std::string name);
+
+    /**
+     * Attach a shared Base-EPT at a fresh virtual range (share-mapping
+     * operation of overlay memory). Returns the VA start page.
+     */
+    PageIndex attachBase(std::shared_ptr<BaseMapping> base);
+
+    /** Remove one VMA (partial unmap is not modelled). */
+    void unmap(PageIndex start);
+
+    /**
+     * Access one page. Resolves any fault, charges costs, and reports
+     * what happened. @p cold marks first-boot accesses whose page-cache
+     * fills may hit storage.
+     */
+    FaultResult touch(PageIndex page, bool write, bool cold = false);
+
+    /** Touch a contiguous range; returns the number of faults taken. */
+    std::size_t touchRange(PageIndex start, std::size_t npages, bool write,
+                           bool cold = false);
+
+    /**
+     * fork/sfork memory half: clone this space copy-on-write. Present
+     * pages become shared-COW in both parent and child. MAP_SHARED VMAs
+     * stay truly shared under plain fork (@p honor_cow_flag false); sfork
+     * honors the paper's CoW flag and downgrades flagged shared regions
+     * to COW for sandbox isolation. Charges per-VMA and per-PTE-batch
+     * costs to the context.
+     */
+    std::unique_ptr<AddressSpace> forkCow(std::string child_name,
+                                          bool honor_cow_flag = true);
+
+    /** Resident set size: private pages plus shared base pages. */
+    std::size_t rssPages() const;
+    std::size_t rssBytes() const { return bytesForPages(rssPages()); }
+
+    /**
+     * Proportional set size in bytes: private frames divided by their
+     * sharer count plus the base divided by its attach count — the same
+     * accounting as Linux smaps (Fig. 14).
+     */
+    double pssBytes() const;
+
+    /** Pages present in the Private-EPT only. */
+    std::size_t privatePages() const { return table_.presentPages(); }
+
+    const std::vector<Vma> &vmas() const { return vmas_; }
+    const std::shared_ptr<BaseMapping> &base() const { return base_; }
+    PageIndex baseVaStart() const { return base_va_start_; }
+    const std::string &name() const { return name_; }
+
+    sim::SimContext &context() { return ctx_; }
+
+  private:
+    const Vma *findVma(PageIndex page) const;
+    FaultResult resolveBaseAccess(PageIndex page, bool write, bool cold);
+    void installCowCopy(PageIndex page, FrameId src_frame);
+
+    sim::SimContext &ctx_;
+    FrameStore &store_;
+    std::string name_;
+    std::vector<Vma> vmas_;
+    PageTable table_;
+    std::shared_ptr<BaseMapping> base_;
+    PageIndex base_va_start_ = 0;
+    PageIndex next_va_ = 0x1000; // leave page 0 unmapped
+};
+
+} // namespace catalyzer::mem
+
+#endif // CATALYZER_MEM_ADDRESS_SPACE_H

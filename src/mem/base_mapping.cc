@@ -1,0 +1,58 @@
+#include "mem/base_mapping.h"
+
+#include "sim/logging.h"
+
+namespace catalyzer::mem {
+
+BaseMapping::BaseMapping(FrameStore &store, BackingFile &file,
+                         PageIndex file_start, std::size_t npages,
+                         std::string name)
+    : store_(store), file_(file), file_start_(file_start),
+      npages_(npages), name_(std::move(name))
+{
+    if (file_start + npages > file.npages())
+        sim::panic("BaseMapping %s: range beyond file end", name_.c_str());
+}
+
+BaseMapping::~BaseMapping()
+{
+    for (auto &[page, pte] : table_)
+        store_.unref(pte.frame);
+    if (attach_count_ != 0)
+        sim::warn("BaseMapping %s destroyed with %zu attachments",
+                  name_.c_str(), attach_count_);
+}
+
+FrameId
+BaseMapping::populate(sim::SimContext &ctx, PageIndex page, bool cold)
+{
+    if (page >= npages_)
+        sim::panic("BaseMapping %s: page %llu out of range", name_.c_str(),
+                   static_cast<unsigned long long>(page));
+    if (const Pte *pte = table_.lookup(page))
+        return pte->frame;
+
+    ctx.chargeCounted("mem.base_fills", ctx.costs().demandFaultFile);
+    const FrameId frame = file_.frameFor(ctx, file_start_ + page, cold);
+    store_.ref(frame);
+    table_.install(page, Pte{frame, false, false});
+    return frame;
+}
+
+void
+BaseMapping::populateAll(sim::SimContext &ctx, bool cold)
+{
+    for (PageIndex p = 0; p < npages_; ++p)
+        populate(ctx, p, cold);
+}
+
+void
+BaseMapping::detach()
+{
+    if (attach_count_ == 0)
+        sim::panic("BaseMapping %s: detach with no attachments",
+                   name_.c_str());
+    --attach_count_;
+}
+
+} // namespace catalyzer::mem

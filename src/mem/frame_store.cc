@@ -1,0 +1,53 @@
+#include "mem/frame_store.h"
+
+#include "sim/logging.h"
+
+namespace catalyzer::mem {
+
+FrameId
+FrameStore::allocate(FrameSource source)
+{
+    const FrameId id = next_++;
+    frames_.emplace(id, Frame{1, source});
+    return id;
+}
+
+void
+FrameStore::ref(FrameId id)
+{
+    auto it = frames_.find(id);
+    if (it == frames_.end())
+        sim::panic("FrameStore::ref: frame %llu not live",
+                   static_cast<unsigned long long>(id));
+    ++it->second.refs;
+}
+
+void
+FrameStore::unref(FrameId id)
+{
+    auto it = frames_.find(id);
+    if (it == frames_.end())
+        sim::panic("FrameStore::unref: frame %llu not live",
+                   static_cast<unsigned long long>(id));
+    if (--it->second.refs == 0)
+        frames_.erase(it);
+}
+
+std::size_t
+FrameStore::refCount(FrameId id) const
+{
+    auto it = frames_.find(id);
+    return it == frames_.end() ? 0 : it->second.refs;
+}
+
+FrameSource
+FrameStore::source(FrameId id) const
+{
+    auto it = frames_.find(id);
+    if (it == frames_.end())
+        sim::panic("FrameStore::source: frame %llu not live",
+                   static_cast<unsigned long long>(id));
+    return it->second.source;
+}
+
+} // namespace catalyzer::mem

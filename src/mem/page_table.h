@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sparse page table: the per-sandbox Private-EPT and the shared Base-EPT
+ * are both instances of this structure.
+ */
+
+#ifndef CATALYZER_MEM_PAGE_TABLE_H
+#define CATALYZER_MEM_PAGE_TABLE_H
+
+#include <unordered_map>
+
+#include "mem/types.h"
+
+namespace catalyzer::mem {
+
+/** One page-table entry. */
+struct Pte
+{
+    FrameId frame = kInvalidFrame;
+    /** Writable in hardware; false for read-only and pending-COW pages. */
+    bool writable = false;
+    /** Copy-on-write: a write fault must copy before making writable. */
+    bool cow = false;
+};
+
+/**
+ * Sparse map from virtual page number to PTE. Only present entries are
+ * stored; absent pages fault to the owning mapping's policy.
+ */
+class PageTable
+{
+  public:
+    /** Entry for @p page, or nullptr when not present. */
+    const Pte *
+    lookup(PageIndex page) const
+    {
+        auto it = entries_.find(page);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Mutable entry for @p page, or nullptr when not present. */
+    Pte *
+    lookupMutable(PageIndex page)
+    {
+        auto it = entries_.find(page);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Install (or replace) the entry for @p page. */
+    void
+    install(PageIndex page, Pte pte)
+    {
+        entries_[page] = pte;
+    }
+
+    /** Remove the entry for @p page if present. */
+    void erase(PageIndex page) { entries_.erase(page); }
+
+    /** Number of present pages. */
+    std::size_t presentPages() const { return entries_.size(); }
+
+    auto begin() { return entries_.begin(); }
+    auto end() { return entries_.end(); }
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::unordered_map<PageIndex, Pte> entries_;
+};
+
+} // namespace catalyzer::mem
+
+#endif // CATALYZER_MEM_PAGE_TABLE_H

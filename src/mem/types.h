@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared memory-subsystem types: page and frame identifiers, page-size
+ * constants and conversion helpers.
+ */
+
+#ifndef CATALYZER_MEM_TYPES_H
+#define CATALYZER_MEM_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace catalyzer::mem {
+
+/** Virtual page number inside one address space. */
+using PageIndex = std::uint64_t;
+
+/** Physical frame identifier; kInvalidFrame means "not present". */
+using FrameId = std::uint64_t;
+
+constexpr FrameId kInvalidFrame = 0;
+
+/** Fixed 4 KiB pages, as on the paper's x86-64 hosts. */
+constexpr std::size_t kPageSize = 4096;
+
+/** Number of PTEs per page-table page (x86-64: 512). */
+constexpr std::size_t kPtesPerTable = 512;
+
+/** Round a byte count up to whole pages. */
+constexpr std::size_t
+pagesForBytes(std::size_t bytes)
+{
+    return (bytes + kPageSize - 1) / kPageSize;
+}
+
+/** Convert pages to bytes. */
+constexpr std::size_t
+bytesForPages(std::size_t pages)
+{
+    return pages * kPageSize;
+}
+
+constexpr std::size_t
+pagesForMiB(std::size_t mib)
+{
+    return mib * (1024 * 1024 / kPageSize);
+}
+
+constexpr std::size_t
+pagesForKiB(std::size_t kib)
+{
+    return (kib * 1024 + kPageSize - 1) / kPageSize;
+}
+
+} // namespace catalyzer::mem
+
+#endif // CATALYZER_MEM_TYPES_H

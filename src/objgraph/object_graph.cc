@@ -1,0 +1,171 @@
+#include "objgraph/object_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace catalyzer::objgraph {
+
+const char *
+objectKindName(ObjectKind kind)
+{
+    switch (kind) {
+      case ObjectKind::Task: return "task";
+      case ObjectKind::ThreadContext: return "thread_context";
+      case ObjectKind::Mount: return "mount";
+      case ObjectKind::Timer: return "timer";
+      case ObjectKind::SessionList: return "session_list";
+      case ObjectKind::FdTableEntry: return "fdtable_entry";
+      case ObjectKind::MemoryRegion: return "memory_region";
+      case ObjectKind::Misc: return "misc";
+    }
+    return "unknown";
+}
+
+GraphSpec
+GraphSpec::scaledTo(std::size_t objects)
+{
+    GraphSpec base;
+    const double factor = static_cast<double>(objects) /
+                          static_cast<double>(base.totalObjects());
+    auto scale = [factor](std::size_t v) {
+        return static_cast<std::size_t>(std::llround(
+            std::max(1.0, static_cast<double>(v) * factor)));
+    };
+    GraphSpec out;
+    out.tasks = scale(base.tasks);
+    out.threadContexts = scale(base.threadContexts);
+    out.mounts = scale(base.mounts);
+    out.timers = scale(base.timers);
+    out.sessionLists = scale(base.sessionLists);
+    out.fdTableEntries = scale(base.fdTableEntries);
+    out.memoryRegions = scale(base.memoryRegions);
+    // Put the remainder in misc so totals land close to the request.
+    const std::size_t partial = out.tasks + out.threadContexts +
+                                out.mounts + out.timers + out.sessionLists +
+                                out.fdTableEntries + out.memoryRegions;
+    out.miscObjects = objects > partial ? objects - partial : 1;
+    return out;
+}
+
+std::uint64_t
+ObjectGraph::addObject(ObjectKind kind, std::uint32_t payload_bytes,
+                       std::vector<std::uint64_t> refs)
+{
+    const std::uint64_t id = objects_.size() + 1;
+    for (std::uint64_t ref : refs) {
+        if (ref >= id)
+            sim::panic("ObjectGraph::addObject: forward/self ref %llu",
+                       static_cast<unsigned long long>(ref));
+    }
+    objects_.push_back(MetaObject{id, kind, payload_bytes, std::move(refs)});
+    return id;
+}
+
+const MetaObject &
+ObjectGraph::object(std::uint64_t id) const
+{
+    if (id == 0 || id > objects_.size())
+        sim::panic("ObjectGraph::object: bad id %llu",
+                   static_cast<unsigned long long>(id));
+    return objects_[id - 1];
+}
+
+MetaObject &
+ObjectGraph::mutableObject(std::uint64_t id)
+{
+    if (id == 0 || id > objects_.size())
+        sim::panic("ObjectGraph::mutableObject: bad id %llu",
+                   static_cast<unsigned long long>(id));
+    return objects_[id - 1];
+}
+
+std::size_t
+ObjectGraph::pointerCount() const
+{
+    std::size_t n = 0;
+    for (const auto &obj : objects_) {
+        n += static_cast<std::size_t>(
+            std::count_if(obj.refs.begin(), obj.refs.end(),
+                          [](std::uint64_t r) { return r != 0; }));
+    }
+    return n;
+}
+
+std::size_t
+ObjectGraph::payloadBytes() const
+{
+    std::size_t n = 0;
+    for (const auto &obj : objects_)
+        n += obj.payloadBytes;
+    return n;
+}
+
+bool
+ObjectGraph::checkIntegrity() const
+{
+    for (const auto &obj : objects_) {
+        for (std::uint64_t ref : obj.refs) {
+            if (ref > objects_.size())
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+ObjectGraph::operator==(const ObjectGraph &other) const
+{
+    if (objects_.size() != other.objects_.size())
+        return false;
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+        const auto &a = objects_[i];
+        const auto &b = other.objects_[i];
+        if (a.id != b.id || a.kind != b.kind ||
+            a.payloadBytes != b.payloadBytes || a.refs != b.refs) {
+            return false;
+        }
+    }
+    return true;
+}
+
+ObjectGraph
+ObjectGraph::synthesize(sim::Rng &rng, const GraphSpec &spec)
+{
+    ObjectGraph graph;
+    struct Batch
+    {
+        ObjectKind kind;
+        std::size_t count;
+    };
+    const Batch batches[] = {
+        {ObjectKind::Task, spec.tasks},
+        {ObjectKind::ThreadContext, spec.threadContexts},
+        {ObjectKind::Mount, spec.mounts},
+        {ObjectKind::Timer, spec.timers},
+        {ObjectKind::SessionList, spec.sessionLists},
+        {ObjectKind::FdTableEntry, spec.fdTableEntries},
+        {ObjectKind::MemoryRegion, spec.memoryRegions},
+        {ObjectKind::Misc, spec.miscObjects},
+    };
+    for (const auto &batch : batches) {
+        for (std::size_t i = 0; i < batch.count; ++i) {
+            const auto payload = static_cast<std::uint32_t>(
+                std::max(16.0, rng.exponential(spec.meanPayloadBytes)));
+            std::vector<std::uint64_t> refs;
+            const std::uint64_t next_id = graph.objectCount() + 1;
+            if (next_id > 1 && rng.chance(spec.pointerBearingFraction)) {
+                const auto nrefs = static_cast<std::size_t>(
+                    1 + rng.uniformInt(static_cast<std::uint64_t>(
+                            std::max(1.0, spec.meanRefsPerObject * 2 - 1))));
+                for (std::size_t r = 0; r < nrefs; ++r)
+                    refs.push_back(1 + rng.uniformInt(next_id - 1));
+            }
+            graph.addObject(batch.kind, payload, std::move(refs));
+        }
+    }
+    return graph;
+}
+
+} // namespace catalyzer::objgraph

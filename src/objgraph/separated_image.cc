@@ -1,0 +1,288 @@
+#include "objgraph/separated_image.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+#include "mem/types.h"
+#include "sim/logging.h"
+
+namespace catalyzer::objgraph {
+
+namespace {
+
+constexpr std::uint64_t
+align8(std::uint64_t v)
+{
+    return (v + 7) & ~std::uint64_t{7};
+}
+
+/** Arena bytes occupied by one object. */
+std::uint64_t
+slotBytesFor(std::uint32_t payload, std::size_t slots)
+{
+    return SeparatedImage::kObjectHeaderBytes + align8(payload) +
+           slots * SeparatedImage::kPointerSlotBytes;
+}
+
+/** Byte offset of pointer slot @p slot within an object at @p base. */
+std::uint64_t
+slotOffsetFor(std::uint64_t base, std::uint32_t payload, std::size_t slot)
+{
+    return base + SeparatedImage::kObjectHeaderBytes + align8(payload) +
+           slot * SeparatedImage::kPointerSlotBytes;
+}
+
+void
+writeU64(std::vector<std::uint8_t> &buf, std::uint64_t off,
+         std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[off + static_cast<std::uint64_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+readU64(const std::vector<std::uint8_t> &buf, std::uint64_t off)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[off +
+                                            static_cast<std::uint64_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+void
+writeU32(std::vector<std::uint8_t> &buf, std::uint64_t off,
+         std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf[off + static_cast<std::uint64_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+readU32(const std::vector<std::uint8_t> &buf, std::uint64_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf[off +
+                                            static_cast<std::uint64_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+/** Deterministic payload fill so decode can verify integrity. */
+std::uint8_t
+payloadByte(std::uint64_t id, std::uint32_t i)
+{
+    return static_cast<std::uint8_t>((id * 31 + i) & 0xff);
+}
+
+} // namespace
+
+SeparatedImage
+SeparatedImage::build(const ObjectGraph &graph)
+{
+    SeparatedImage image;
+    const auto &objects = graph.objects();
+
+    // Cluster pointer-bearing objects at the front of the arena so that
+    // stage-2 patching dirties a compact page range.
+    std::vector<std::uint64_t> order;
+    order.reserve(objects.size());
+    for (const auto &obj : objects) {
+        const bool has_ptr = std::any_of(
+            obj.refs.begin(), obj.refs.end(),
+            [](std::uint64_t r) { return r != 0; });
+        if (has_ptr)
+            order.push_back(obj.id);
+    }
+    for (const auto &obj : objects) {
+        const bool has_ptr = std::any_of(
+            obj.refs.begin(), obj.refs.end(),
+            [](std::uint64_t r) { return r != 0; });
+        if (!has_ptr)
+            order.push_back(obj.id);
+    }
+
+    // Assign arena offsets in clustered order.
+    std::unordered_map<std::uint64_t, std::uint64_t> id_to_offset;
+    std::uint64_t cursor = 0;
+    for (std::uint64_t id : order) {
+        const MetaObject &obj = graph.object(id);
+        id_to_offset[id] = cursor;
+        image.offset_to_id_[cursor] = id;
+        cursor += slotBytesFor(obj.payloadBytes, obj.refs.size());
+    }
+    image.arena_bytes_ = cursor;
+
+    //
+    // Materialize the arena: packed 16-byte headers (id u64, kind u8,
+    // slots u16, payload u32), a deterministic payload fill, and zeroed
+    // pointer slots. The relation table records where every non-null
+    // pointer lives and what arena offset it must resolve to.
+    //
+    image.arena_.assign(image.arena_bytes_, 0);
+    image.stored_.reserve(objects.size());
+    for (const auto &obj : objects) {
+        const std::uint64_t base = id_to_offset.at(obj.id);
+        writeU64(image.arena_, base, obj.id);
+        image.arena_[base + 8] = static_cast<std::uint8_t>(obj.kind);
+        image.arena_[base + 9] =
+            static_cast<std::uint8_t>(obj.refs.size() & 0xff);
+        image.arena_[base + 10] =
+            static_cast<std::uint8_t>((obj.refs.size() >> 8) & 0xff);
+        writeU32(image.arena_, base + 12, obj.payloadBytes);
+        for (std::uint32_t i = 0; i < obj.payloadBytes; ++i)
+            image.arena_[base + kObjectHeaderBytes + i] =
+                payloadByte(obj.id, i);
+
+        image.stored_.push_back(StoredObject{
+            obj.id, obj.kind, obj.payloadBytes, base,
+            static_cast<std::uint16_t>(obj.refs.size())});
+        for (std::size_t slot = 0; slot < obj.refs.size(); ++slot) {
+            const std::uint64_t target = obj.refs[slot];
+            if (target == 0)
+                continue; // null stays null; no relocation needed
+            image.relocs_.push_back(Reloc{
+                slotOffsetFor(base, obj.payloadBytes, slot),
+                id_to_offset.at(target)});
+        }
+    }
+    return image;
+}
+
+ObjectGraph
+SeparatedImage::reconstruct() const
+{
+    //
+    // Stage-1: the arena is mapped as-is; we work on a private copy
+    // (the COW the overlay memory performs on the dirtied pages).
+    //
+    std::vector<std::uint8_t> arena = arena_;
+
+    //
+    // Stage-2: apply the relation table — each entry writes the real
+    // pointer (as an arena offset) into its slot. Entries are
+    // independent; the real system patches them from parallel workers.
+    //
+    // Targets are written offset+1 so that a pointer to the object at
+    // arena offset 0 stays distinguishable from a null slot.
+    for (const Reloc &reloc : relocs_) {
+        if (reloc.slotOffset + kPointerSlotBytes > arena.size())
+            sim::panic("SeparatedImage: slot offset beyond arena");
+        writeU64(arena, reloc.slotOffset, reloc.targetOffset + 1);
+    }
+
+    //
+    // Decode pass 1: scan the packed objects, collecting headers and
+    // raw slot values, and build the offset -> id map from the bytes
+    // themselves.
+    //
+    struct Decoded
+    {
+        std::uint64_t id;
+        ObjectKind kind;
+        std::uint32_t payload;
+        std::vector<std::uint64_t> raw_slots;
+    };
+    std::vector<Decoded> decoded;
+    decoded.reserve(stored_.size());
+    std::unordered_map<std::uint64_t, std::uint64_t> offset_to_id;
+    std::uint64_t cursor = 0;
+    while (cursor < arena.size()) {
+        Decoded d;
+        d.id = readU64(arena, cursor);
+        d.kind = static_cast<ObjectKind>(arena[cursor + 8]);
+        const std::uint16_t slots = static_cast<std::uint16_t>(
+            arena[cursor + 9] |
+            (static_cast<std::uint16_t>(arena[cursor + 10]) << 8));
+        d.payload = readU32(arena, cursor + 12);
+
+        // Integrity: the payload fill must match the checkpoint.
+        for (std::uint32_t i = 0; i < d.payload; ++i) {
+            if (arena[cursor + kObjectHeaderBytes + i] !=
+                payloadByte(d.id, i)) {
+                sim::panic("SeparatedImage: payload corruption at "
+                           "object %llu byte %u",
+                           static_cast<unsigned long long>(d.id), i);
+            }
+        }
+
+        const std::uint64_t slot_base =
+            cursor + kObjectHeaderBytes + align8(d.payload);
+        d.raw_slots.reserve(slots);
+        for (std::uint16_t s = 0; s < slots; ++s)
+            d.raw_slots.push_back(
+                readU64(arena, slot_base + s * kPointerSlotBytes));
+
+        offset_to_id[cursor] = d.id;
+        cursor = slot_base + slots * kPointerSlotBytes;
+        decoded.push_back(std::move(d));
+    }
+    if (cursor != arena.size())
+        sim::panic("SeparatedImage: arena scan overran (%llu != %zu)",
+                   static_cast<unsigned long long>(cursor), arena.size());
+
+    //
+    // Decode pass 2: resolve patched offsets to object ids and rebuild
+    // the graph in id order. A zero slot is a null pointer — except for
+    // the object at arena offset 0, which never appears as a target
+    // because an object cannot reference itself or a later object
+    // (construction order), and offset 0 belongs to the first clustered
+    // object whose own refs resolve elsewhere.
+    //
+    std::sort(decoded.begin(), decoded.end(),
+              [](const Decoded &a, const Decoded &b) {
+                  return a.id < b.id;
+              });
+    ObjectGraph graph;
+    for (const Decoded &d : decoded) {
+        std::vector<std::uint64_t> refs;
+        refs.reserve(d.raw_slots.size());
+        for (std::uint64_t raw : d.raw_slots) {
+            if (raw == 0) {
+                refs.push_back(0);
+                continue;
+            }
+            auto it = offset_to_id.find(raw - 1);
+            if (it == offset_to_id.end())
+                sim::panic("SeparatedImage: dangling target offset");
+            refs.push_back(it->second);
+        }
+        graph.addObject(d.kind, d.payload, std::move(refs));
+    }
+    return graph;
+}
+
+std::size_t
+SeparatedImage::arenaPages() const
+{
+    return mem::pagesForBytes(arena_bytes_);
+}
+
+std::size_t
+SeparatedImage::pointerPages() const
+{
+    std::unordered_set<std::uint64_t> pages;
+    for (const Reloc &reloc : relocs_)
+        pages.insert(reloc.slotOffset / mem::kPageSize);
+    return pages.size();
+}
+
+std::vector<std::uint64_t>
+SeparatedImage::pointerPageList() const
+{
+    std::unordered_set<std::uint64_t> pages;
+    for (const Reloc &reloc : relocs_)
+        pages.insert(reloc.slotOffset / mem::kPageSize);
+    std::vector<std::uint64_t> out(pages.begin(), pages.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace catalyzer::objgraph

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Separated state recovery image (paper Sec. 3.2).
+ *
+ * At checkpoint time the discrete in-memory objects are re-organized into
+ * a contiguous, page-aligned arena; pointers are zeroed and recorded in a
+ * relation table mapping pointer-slot offsets to pointee offsets. Restore
+ * is then stage-1 (map the arena — overlay memory) plus stage-2 (patch
+ * the pointer slots through the relation table, in parallel), instead of
+ * per-object deserialization.
+ */
+
+#ifndef CATALYZER_OBJGRAPH_SEPARATED_IMAGE_H
+#define CATALYZER_OBJGRAPH_SEPARATED_IMAGE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "objgraph/object_graph.h"
+
+namespace catalyzer::objgraph {
+
+/** One relation-table entry: where a pointer lives -> what it points at. */
+struct Reloc
+{
+    /** Byte offset of the pointer slot in the arena. */
+    std::uint64_t slotOffset;
+    /** Byte offset of the target object in the arena. */
+    std::uint64_t targetOffset;
+};
+
+/**
+ * The partially-deserialized metadata section of a func-image.
+ *
+ * The layout clusters pointer-bearing objects at the front of the arena
+ * so that stage-2 pointer patching dirties (and therefore COWs) as few
+ * pages as possible — this is what keeps the paper's per-instance
+ * metadata cost in the hundreds-of-KB range (Table 3).
+ */
+class SeparatedImage
+{
+  public:
+    static constexpr std::size_t kObjectHeaderBytes = 16;
+    static constexpr std::size_t kPointerSlotBytes = 8;
+    static constexpr std::size_t kRelocEntryBytes = 16;
+
+    /** Re-organize a graph into the separated format (offline). */
+    static SeparatedImage build(const ObjectGraph &graph);
+
+    /**
+     * Stage-1 + stage-2: rebuild the full object graph by applying the
+     * relation table to the zeroed arena copies. The result is
+     * bit-identical to the checkpointed graph.
+     */
+    ObjectGraph reconstruct() const;
+
+    std::size_t objectCount() const { return stored_.size(); }
+    std::size_t relocCount() const { return relocs_.size(); }
+
+    /** Arena extent. */
+    std::size_t arenaBytes() const { return arena_bytes_; }
+    std::size_t arenaPages() const;
+
+    /** Distinct arena pages containing at least one patched slot. */
+    std::size_t pointerPages() const;
+
+    /**
+     * Sorted arena-relative page indices dirtied by stage-2 patching.
+     * These are exactly the pages a warm boot COWs into its Private-EPT
+     * (the per-instance metadata cost of Table 3).
+     */
+    std::vector<std::uint64_t> pointerPageList() const;
+
+    /** Relation table size on disk / in memory. */
+    std::size_t
+    relocTableBytes() const
+    {
+        return relocs_.size() * kRelocEntryBytes;
+    }
+
+    const std::vector<Reloc> &relocs() const { return relocs_; }
+
+    /** Raw arena bytes (the image's metadata section contents). */
+    const std::vector<std::uint8_t> &arena() const { return arena_; }
+
+    /** Test support: flip one arena byte (simulated storage rot). */
+    void
+    corruptByteForTesting(std::uint64_t offset)
+    {
+        arena_.at(offset) ^= 0xff;
+    }
+
+  private:
+    struct StoredObject
+    {
+        std::uint64_t id; // original id (order preserved for identity)
+        ObjectKind kind;
+        std::uint32_t payloadBytes;
+        std::uint64_t arenaOffset;
+        /** Slot count; contents zeroed, patched via the relation table. */
+        std::uint16_t slots;
+    };
+
+    std::vector<StoredObject> stored_;            // id order
+    std::vector<Reloc> relocs_;
+    std::unordered_map<std::uint64_t, std::uint64_t> offset_to_id_;
+    std::size_t arena_bytes_ = 0;
+    /** The real arena: packed headers, payload fill, zeroed slots. */
+    std::vector<std::uint8_t> arena_;
+};
+
+} // namespace catalyzer::objgraph
+
+#endif // CATALYZER_OBJGRAPH_SEPARATED_IMAGE_H

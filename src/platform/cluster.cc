@@ -1,0 +1,121 @@
+#include "platform/cluster.h"
+
+#include <functional>
+
+#include "sim/logging.h"
+
+namespace catalyzer::platform {
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::RoundRobin: return "round-robin";
+      case PlacementPolicy::LeastLoaded: return "least-loaded";
+      case PlacementPolicy::FunctionAffinity: return "function-affinity";
+    }
+    return "?";
+}
+
+Cluster::Cluster(std::size_t machines, PlacementPolicy policy,
+                 PlatformConfig config, core::CatalyzerOptions options,
+                 sim::CostModel costs, std::uint64_t seed)
+    : policy_(policy)
+{
+    if (machines == 0)
+        sim::fatal("Cluster: need at least one machine");
+    nodes_.reserve(machines);
+    for (std::size_t i = 0; i < machines; ++i) {
+        Node node;
+        node.machine =
+            std::make_unique<sandbox::Machine>(seed + i, costs);
+        node.platform = std::make_unique<ServerlessPlatform>(
+            *node.machine, config, options);
+        nodes_.push_back(std::move(node));
+    }
+}
+
+void
+Cluster::deploy(const apps::AppProfile &app)
+{
+    for (auto &node : nodes_)
+        node.platform->deploy(app);
+}
+
+void
+Cluster::prepareEverywhere(const apps::AppProfile &app)
+{
+    for (auto &node : nodes_)
+        node.platform->prepare(app);
+}
+
+std::size_t
+Cluster::pick(const std::string &function_name)
+{
+    switch (policy_) {
+      case PlacementPolicy::RoundRobin:
+        return next_rr_++ % nodes_.size();
+      case PlacementPolicy::LeastLoaded: {
+        std::size_t best = 0;
+        std::size_t best_load = nodes_[0].platform->totalInstances();
+        for (std::size_t i = 1; i < nodes_.size(); ++i) {
+            const std::size_t load = nodes_[i].platform->totalInstances();
+            if (load < best_load) {
+                best = i;
+                best_load = load;
+            }
+        }
+        return best;
+      }
+      case PlacementPolicy::FunctionAffinity:
+        return std::hash<std::string>{}(function_name) % nodes_.size();
+    }
+    sim::panic("unreachable placement policy");
+}
+
+ClusterInvocation
+Cluster::invoke(const std::string &function_name)
+{
+    const std::size_t target = pick(function_name);
+    ClusterInvocation out;
+    out.machineIndex = target;
+    out.record = nodes_[target].platform->invoke(function_name);
+    return out;
+}
+
+ServerlessPlatform &
+Cluster::platform(std::size_t i)
+{
+    if (i >= nodes_.size())
+        sim::panic("Cluster::platform: index %zu out of range", i);
+    return *nodes_[i].platform;
+}
+
+sandbox::Machine &
+Cluster::machine(std::size_t i)
+{
+    if (i >= nodes_.size())
+        sim::panic("Cluster::machine: index %zu out of range", i);
+    return *nodes_[i].machine;
+}
+
+std::size_t
+Cluster::totalInstances() const
+{
+    std::size_t n = 0;
+    for (const auto &node : nodes_)
+        n += node.platform->totalInstances();
+    return n;
+}
+
+std::vector<std::size_t>
+Cluster::placementOf(const std::string &function_name) const
+{
+    std::vector<std::size_t> out;
+    out.reserve(nodes_.size());
+    for (const auto &node : nodes_)
+        out.push_back(node.platform->runningCount(function_name));
+    return out;
+}
+
+} // namespace catalyzer::platform

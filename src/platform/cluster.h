@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-machine serverless cluster.
+ *
+ * Catalyzer's warm boots, Base-EPT sharing, templates and page-cache
+ * effects are all *per machine*; where the scheduler places a request
+ * decides whether they help. The Cluster models a fleet of identical
+ * machines with a pluggable placement policy, and (combined with
+ * CatalyzerOptions::remoteImages) the per-machine func-image fetch that
+ * the paper's init-less booting flow describes.
+ */
+
+#ifndef CATALYZER_PLATFORM_CLUSTER_H
+#define CATALYZER_PLATFORM_CLUSTER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace catalyzer::platform {
+
+/** How the cluster scheduler picks a machine for a request. */
+enum class PlacementPolicy
+{
+    RoundRobin,      ///< spread blindly
+    LeastLoaded,     ///< fewest live instances
+    FunctionAffinity ///< hash the function to a home machine
+};
+
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** A cluster invocation outcome: the record plus where it ran. */
+struct ClusterInvocation
+{
+    InvocationRecord record;
+    std::size_t machineIndex = 0;
+};
+
+/**
+ * A fleet of machines, each with its own ServerlessPlatform (and
+ * therefore its own Zygote pool, templates, base mappings and page
+ * cache).
+ */
+class Cluster
+{
+  public:
+    /**
+     * @param machines   Fleet size.
+     * @param policy     Placement policy.
+     * @param config     Platform configuration used on every machine.
+     * @param options    Catalyzer options used on every machine.
+     * @param costs      Host cost model (same hardware fleet).
+     * @param seed       Base seed; machine i uses seed + i.
+     */
+    Cluster(std::size_t machines, PlacementPolicy policy,
+            PlatformConfig config = {},
+            core::CatalyzerOptions options = {},
+            sim::CostModel costs = sim::CostModel{},
+            std::uint64_t seed = 42);
+
+    /** Register a function on every machine. */
+    void deploy(const apps::AppProfile &app);
+
+    /** Offline preparation on every machine (images/templates). */
+    void prepareEverywhere(const apps::AppProfile &app);
+
+    /** Route one request through the scheduler. */
+    ClusterInvocation invoke(const std::string &function_name);
+
+    std::size_t machineCount() const { return nodes_.size(); }
+    ServerlessPlatform &platform(std::size_t i);
+    sandbox::Machine &machine(std::size_t i);
+
+    /** Total live instances across the fleet. */
+    std::size_t totalInstances() const;
+
+    /** Instances of one function on each machine. */
+    std::vector<std::size_t>
+    placementOf(const std::string &function_name) const;
+
+  private:
+    std::size_t pick(const std::string &function_name);
+
+    struct Node
+    {
+        std::unique_ptr<sandbox::Machine> machine;
+        std::unique_ptr<ServerlessPlatform> platform;
+    };
+
+    PlacementPolicy policy_;
+    std::vector<Node> nodes_;
+    std::size_t next_rr_ = 0;
+};
+
+} // namespace catalyzer::platform
+
+#endif // CATALYZER_PLATFORM_CLUSTER_H

@@ -1,0 +1,223 @@
+#include "platform/platform.h"
+
+#include "sim/clock.h"
+#include "sim/logging.h"
+
+namespace catalyzer::platform {
+
+using sandbox::BootResult;
+using sandbox::FunctionArtifacts;
+using sandbox::SandboxInstance;
+
+const char *
+bootStrategyName(BootStrategy strategy)
+{
+    switch (strategy) {
+      case BootStrategy::Docker: return "Docker";
+      case BootStrategy::HyperContainer: return "HyperContainer";
+      case BootStrategy::FireCracker: return "FireCracker";
+      case BootStrategy::GVisor: return "gVisor";
+      case BootStrategy::GVisorRestore: return "gVisor-restore";
+      case BootStrategy::CatalyzerCold: return "Catalyzer-restore";
+      case BootStrategy::CatalyzerWarm: return "Catalyzer-Zygote";
+      case BootStrategy::CatalyzerFork: return "Catalyzer-sfork";
+      case BootStrategy::CatalyzerAuto: return "Catalyzer-auto";
+    }
+    return "?";
+}
+
+ServerlessPlatform::ServerlessPlatform(sandbox::Machine &machine,
+                                       PlatformConfig config,
+                                       core::CatalyzerOptions options)
+    : machine_(machine), config_(config), registry_(machine),
+      runtime_(machine, options)
+{
+}
+
+FunctionArtifacts &
+ServerlessPlatform::deploy(const apps::AppProfile &app)
+{
+    return registry_.artifactsFor(app);
+}
+
+void
+ServerlessPlatform::prepare(const apps::AppProfile &app)
+{
+    FunctionArtifacts &fn = deploy(app);
+    switch (config_.strategy) {
+      case BootStrategy::GVisorRestore:
+        sandbox::ensureProtoImage(fn);
+        break;
+      case BootStrategy::CatalyzerCold:
+      case BootStrategy::CatalyzerWarm:
+        sandbox::ensureSeparatedImage(fn);
+        break;
+      case BootStrategy::CatalyzerFork:
+      case BootStrategy::CatalyzerAuto:
+        runtime_.prepareTemplate(fn);
+        break;
+      default:
+        break; // fresh-boot systems need no preparation
+    }
+}
+
+BootResult
+ServerlessPlatform::bootNew(FunctionArtifacts &fn)
+{
+    using sandbox::SandboxSystem;
+    switch (config_.strategy) {
+      case BootStrategy::Docker:
+        return sandbox::bootSandbox(SandboxSystem::Docker, fn);
+      case BootStrategy::HyperContainer:
+        return sandbox::bootSandbox(SandboxSystem::HyperContainer, fn);
+      case BootStrategy::FireCracker:
+        return sandbox::bootSandbox(SandboxSystem::FireCracker, fn);
+      case BootStrategy::GVisor:
+        return sandbox::bootSandbox(SandboxSystem::GVisor, fn);
+      case BootStrategy::GVisorRestore:
+        return sandbox::bootSandbox(SandboxSystem::GVisorRestore, fn);
+      case BootStrategy::CatalyzerCold:
+        return runtime_.bootCold(fn);
+      case BootStrategy::CatalyzerWarm:
+        return runtime_.bootWarm(fn);
+      case BootStrategy::CatalyzerFork:
+        return runtime_.bootFork(fn);
+      case BootStrategy::CatalyzerAuto:
+        if (runtime_.templateFor(fn.app().name))
+            return runtime_.bootFork(fn);
+        if (fn.sharedBase)
+            return runtime_.bootWarm(fn);
+        return runtime_.bootCold(fn);
+    }
+    sim::panic("unreachable boot strategy");
+}
+
+InvocationRecord
+ServerlessPlatform::invoke(const std::string &function_name)
+{
+    auto &ctx = machine_.ctx();
+    FunctionArtifacts &fn =
+        registry_.artifactsFor(apps::appByName(function_name));
+
+    InvocationRecord record;
+    record.function = function_name;
+
+    // Gateway delivery.
+    sim::Stopwatch watch(ctx.clock());
+    ctx.charge(ctx.costs().rpcDelivery);
+    record.gatewayLatency = watch.elapsed();
+    watch.restart();
+
+    // Find or boot an instance.
+    std::unique_ptr<SandboxInstance> inst;
+    auto &idle = idle_[function_name];
+    if (config_.reuseIdleInstances && !idle.empty()) {
+        // Most-recently-used instance: the warmest caches, and older
+        // ones age toward the keep-alive TTL.
+        inst = std::move(idle.back().instance);
+        idle.pop_back();
+        record.reusedInstance = true;
+        record.bootKind = inst->bootKind();
+        ctx.stats().incr("platform.instance_reuses");
+    } else {
+        BootResult boot = bootNew(fn);
+        inst = std::move(boot.instance);
+        record.bootKind = inst->bootKind();
+        record.bootLatency = inst->bootLatency();
+        ctx.stats().incr("platform.boots");
+    }
+
+    // Execute the handler.
+    record.execLatency = inst->invoke();
+
+    // Park the instance.
+    if (config_.reuseIdleInstances)
+        idle_[function_name].push_back(
+            IdleEntry{std::move(inst), ctx.now()});
+    else if (config_.retainInstances)
+        running_[function_name].push_back(std::move(inst));
+    // else: destroyed here, releasing its memory.
+
+    ctx.stats().incr("platform.invocations");
+    // Background maintenance after the request is served: the offline
+    // zygote builder keeps the pool at its target size.
+    runtime_.zygotes().replenish();
+    return record;
+}
+
+std::vector<SandboxInstance *>
+ServerlessPlatform::instancesOf(const std::string &function_name)
+{
+    std::vector<SandboxInstance *> out;
+    auto rit = running_.find(function_name);
+    if (rit != running_.end()) {
+        for (auto &inst : rit->second)
+            out.push_back(inst.get());
+    }
+    auto iit = idle_.find(function_name);
+    if (iit != idle_.end()) {
+        for (auto &entry : iit->second)
+            out.push_back(entry.instance.get());
+    }
+    return out;
+}
+
+std::size_t
+ServerlessPlatform::runningCount(const std::string &function_name) const
+{
+    std::size_t n = 0;
+    auto rit = running_.find(function_name);
+    if (rit != running_.end())
+        n += rit->second.size();
+    auto iit = idle_.find(function_name);
+    if (iit != idle_.end())
+        n += iit->second.size();
+    return n;
+}
+
+std::size_t
+ServerlessPlatform::totalInstances() const
+{
+    std::size_t n = 0;
+    for (const auto &[name, list] : running_)
+        n += list.size();
+    for (const auto &[name, list] : idle_)
+        n += list.size();
+    return n;
+}
+
+std::size_t
+ServerlessPlatform::expireIdle(sim::SimTime ttl)
+{
+    const sim::SimTime now = machine_.ctx().now();
+    std::size_t reclaimed = 0;
+    for (auto &[name, entries] : idle_) {
+        while (!entries.empty() &&
+               now - entries.front().parkedAt > ttl) {
+            entries.pop_front();
+            ++reclaimed;
+        }
+    }
+    if (reclaimed > 0)
+        machine_.ctx().stats().incr("platform.idle_expired",
+                                    static_cast<std::int64_t>(reclaimed));
+    return reclaimed;
+}
+
+std::size_t
+ServerlessPlatform::idleCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[name, entries] : idle_)
+        n += entries.size();
+    return n;
+}
+
+void
+ServerlessPlatform::teardown(const std::string &function_name)
+{
+    running_.erase(function_name);
+    idle_.erase(function_name);
+}
+
+} // namespace catalyzer::platform

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The serverless platform: gateway, boot-strategy dispatch and instance
+ * pools (paper Sec. 2.1's gateway + sandbox flow).
+ */
+
+#ifndef CATALYZER_PLATFORM_PLATFORM_H
+#define CATALYZER_PLATFORM_PLATFORM_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalyzer/runtime.h"
+#include "sandbox/pipelines.h"
+
+namespace catalyzer::platform {
+
+/** How the platform boots a missing instance. */
+enum class BootStrategy
+{
+    Docker,
+    HyperContainer,
+    FireCracker,
+    GVisor,
+    GVisorRestore,
+    CatalyzerCold,
+    CatalyzerWarm,
+    CatalyzerFork,
+    /** fork if a template exists, warm if a base exists, else cold. */
+    CatalyzerAuto,
+};
+
+const char *bootStrategyName(BootStrategy strategy);
+
+/** Platform behaviour knobs. */
+struct PlatformConfig
+{
+    BootStrategy strategy = BootStrategy::CatalyzerAuto;
+    /** Keep-alive: reuse an idle instance instead of booting. */
+    bool reuseIdleInstances = false;
+    /** Keep instances running after a request (auto-scaling study). */
+    bool retainInstances = true;
+};
+
+/** Outcome of one request through the gateway. */
+struct InvocationRecord
+{
+    std::string function;
+    sandbox::BootKind bootKind = sandbox::BootKind::ColdFresh;
+    bool reusedInstance = false;
+    sim::SimTime gatewayLatency;
+    sim::SimTime bootLatency;
+    sim::SimTime execLatency;
+
+    sim::SimTime
+    endToEnd() const
+    {
+        return gatewayLatency + bootLatency + execLatency;
+    }
+};
+
+/**
+ * One serverless platform on one machine. Owns the function registry,
+ * the Catalyzer runtime, and the per-function instance pools.
+ */
+class ServerlessPlatform
+{
+  public:
+    explicit ServerlessPlatform(sandbox::Machine &machine,
+                                PlatformConfig config = {},
+                                core::CatalyzerOptions options = {});
+
+    /** Register a function (idempotent). */
+    sandbox::FunctionArtifacts &deploy(const apps::AppProfile &app);
+
+    /**
+     * Offline preparation appropriate for the configured strategy:
+     * build func-images and/or the template sandbox.
+     */
+    void prepare(const apps::AppProfile &app);
+
+    /** Handle one request end to end. */
+    InvocationRecord invoke(const std::string &function_name);
+
+    /** Live instances of one function (running + idle). */
+    std::vector<sandbox::SandboxInstance *>
+    instancesOf(const std::string &function_name);
+
+    std::size_t runningCount(const std::string &function_name) const;
+    std::size_t totalInstances() const;
+
+    /** Destroy all instances of a function. */
+    void teardown(const std::string &function_name);
+
+    /**
+     * Keep-alive expiry: destroy idle instances parked for longer than
+     * @p ttl. Returns the number of instances reclaimed.
+     */
+    std::size_t expireIdle(sim::SimTime ttl);
+
+    /** Idle (keep-alive) instances across all functions. */
+    std::size_t idleCount() const;
+
+    core::CatalyzerRuntime &catalyzer() { return runtime_; }
+    sandbox::FunctionRegistry &registry() { return registry_; }
+    sandbox::Machine &machine() { return machine_; }
+    const PlatformConfig &config() const { return config_; }
+
+  private:
+    sandbox::BootResult bootNew(sandbox::FunctionArtifacts &fn);
+
+    /** A parked keep-alive instance. */
+    struct IdleEntry
+    {
+        std::unique_ptr<sandbox::SandboxInstance> instance;
+        sim::SimTime parkedAt;
+    };
+
+    sandbox::Machine &machine_;
+    PlatformConfig config_;
+    sandbox::FunctionRegistry registry_;
+    core::CatalyzerRuntime runtime_;
+    std::map<std::string, std::deque<IdleEntry>> idle_;
+    std::map<std::string,
+             std::vector<std::unique_ptr<sandbox::SandboxInstance>>>
+        running_;
+};
+
+} // namespace catalyzer::platform
+
+#endif // CATALYZER_PLATFORM_PLATFORM_H

@@ -1,0 +1,150 @@
+#include "platform/policy.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace catalyzer::platform {
+
+const char *
+functionPriorityName(FunctionPriority priority)
+{
+    switch (priority) {
+      case FunctionPriority::High: return "high";
+      case FunctionPriority::Normal: return "normal";
+      case FunctionPriority::Low: return "low";
+    }
+    return "?";
+}
+
+BootPolicyManager::BootPolicyManager(ServerlessPlatform &platform,
+                                     PolicyConfig config)
+    : platform_(platform), config_(config)
+{
+}
+
+void
+BootPolicyManager::setPriority(const std::string &function_name,
+                               FunctionPriority priority)
+{
+    functions_[function_name].priority = priority;
+}
+
+FunctionPriority
+BootPolicyManager::priority(const std::string &function_name) const
+{
+    auto it = functions_.find(function_name);
+    return it == functions_.end() ? FunctionPriority::Normal
+                                  : it->second.priority;
+}
+
+InvocationRecord
+BootPolicyManager::invoke(const std::string &function_name)
+{
+    observe(function_name);
+    return platform_.invoke(function_name);
+}
+
+void
+BootPolicyManager::observe(const std::string &function_name)
+{
+    functions_[function_name].recentInvocations += 1.0;
+}
+
+double
+BootPolicyManager::score(const FunctionState &state) const
+{
+    // Priority is a multiplier on observed traffic; High functions
+    // qualify even when quiet, Low ones never hold a template.
+    switch (state.priority) {
+      case FunctionPriority::High:
+        return 1000.0 + state.recentInvocations;
+      case FunctionPriority::Normal:
+        return state.recentInvocations;
+      case FunctionPriority::Low:
+        return -1.0;
+    }
+    return 0.0;
+}
+
+std::size_t
+BootPolicyManager::rebalance()
+{
+    auto &runtime = platform_.catalyzer();
+    std::size_t actions = 0;
+
+    // Rank candidates by score.
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto &[name, state] : functions_)
+        ranked.emplace_back(score(state), name);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+
+    // Greedily keep templates for the top scorers within the budget.
+    std::size_t used = 0;
+    for (const auto &[s, name] : ranked) {
+        FunctionState &state = functions_[name];
+        const bool hot =
+            state.priority == FunctionPriority::High ||
+            (state.priority == FunctionPriority::Normal &&
+             state.recentInvocations >=
+                 static_cast<double>(config_.hotThreshold));
+        if (hot) {
+            if (!state.hasTemplate) {
+                platform_.catalyzer().prepareTemplate(
+                    platform_.registry().artifactsFor(
+                        apps::appByName(name)));
+                state.hasTemplate = true;
+                ++actions;
+            }
+            const auto *tmpl = runtime.templateFor(name);
+            const std::size_t cost = tmpl ? tmpl->rssBytes() : 0;
+            if (used + cost > config_.templateMemoryBudgetBytes) {
+                // Over budget: this one (and everything colder) goes.
+                runtime.dropTemplate(name);
+                state.hasTemplate = false;
+                ++actions;
+            } else {
+                used += cost;
+                continue;
+            }
+        }
+        if (!hot && state.hasTemplate) {
+            runtime.dropTemplate(name);
+            state.hasTemplate = false;
+            ++actions;
+        }
+    }
+
+    // Decay the traffic counters.
+    for (auto &[name, state] : functions_)
+        state.recentInvocations *= config_.decay;
+    return actions;
+}
+
+std::size_t
+BootPolicyManager::templateMemoryBytes() const
+{
+    std::size_t used = 0;
+    auto &runtime = platform_.catalyzer();
+    for (const auto &[name, state] : functions_) {
+        if (state.hasTemplate) {
+            if (const auto *tmpl = runtime.templateFor(name))
+                used += tmpl->rssBytes();
+        }
+    }
+    return used;
+}
+
+std::vector<std::string>
+BootPolicyManager::templatedFunctions() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, state] : functions_) {
+        if (state.hasTemplate)
+            out.push_back(name);
+    }
+    return out;
+}
+
+} // namespace catalyzer::platform

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Priority-based boot-policy management (paper Sec. 6.9).
+ *
+ * Fork boot is the fastest path but each template sandbox holds real
+ * memory (a SPECjbb template costs >200 MB), so a platform must choose
+ * *which* functions deserve one. The paper's guidance: private
+ * platforms assign priorities; public ones use hints plus observed
+ * traffic. BootPolicyManager implements that: it scores functions by
+ * priority and recent invocation rate and keeps templates for the top
+ * scorers within a memory budget, falling back to warm/cold restore for
+ * everything else (the platform's CatalyzerAuto strategy escalates
+ * automatically once a template exists).
+ */
+
+#ifndef CATALYZER_PLATFORM_POLICY_H
+#define CATALYZER_PLATFORM_POLICY_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace catalyzer::platform {
+
+/** Operator-assigned importance of a function. */
+enum class FunctionPriority { High, Normal, Low };
+
+const char *functionPriorityName(FunctionPriority priority);
+
+/** Policy knobs. */
+struct PolicyConfig
+{
+    /** Total memory the template pool may hold. */
+    std::size_t templateMemoryBudgetBytes = 512u << 20;
+    /** Invocations (since last rebalance) for a Normal function to be
+     *  considered hot. */
+    std::size_t hotThreshold = 4;
+    /** Multiplicative decay applied to counters at each rebalance. */
+    double decay = 0.5;
+};
+
+/**
+ * Tracks traffic, scores functions and maintains the template pool.
+ * Use it as the invoke() front door so observations stay accurate.
+ */
+class BootPolicyManager
+{
+  public:
+    BootPolicyManager(ServerlessPlatform &platform, PolicyConfig config);
+
+    /** Set a function's priority (defaults to Normal). */
+    void setPriority(const std::string &function_name,
+                     FunctionPriority priority);
+    FunctionPriority priority(const std::string &function_name) const;
+
+    /** Invoke through the policy (observes traffic). */
+    InvocationRecord invoke(const std::string &function_name);
+
+    /** Record an invocation made directly on the platform. */
+    void observe(const std::string &function_name);
+
+    /**
+     * Re-evaluate the template pool: build templates for the hottest /
+     * highest-priority functions while under the memory budget; drop
+     * templates whose functions went cold. Returns the number of
+     * template builds plus drops performed.
+     */
+    std::size_t rebalance();
+
+    /** Current template-pool memory. */
+    std::size_t templateMemoryBytes() const;
+
+    /** Functions currently holding a template. */
+    std::vector<std::string> templatedFunctions() const;
+
+    const PolicyConfig &config() const { return config_; }
+
+  private:
+    struct FunctionState
+    {
+        FunctionPriority priority = FunctionPriority::Normal;
+        double recentInvocations = 0.0;
+        bool hasTemplate = false;
+    };
+
+    double score(const FunctionState &state) const;
+
+    ServerlessPlatform &platform_;
+    PolicyConfig config_;
+    std::map<std::string, FunctionState> functions_;
+};
+
+} // namespace catalyzer::platform
+
+#endif // CATALYZER_PLATFORM_POLICY_H

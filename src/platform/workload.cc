@@ -1,0 +1,93 @@
+#include "platform/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+#include "sim/rng.h"
+
+namespace catalyzer::platform {
+
+WorkloadSpec
+WorkloadSpec::zipf(const std::vector<std::string> &functions,
+                   double total_rps, double skew)
+{
+    WorkloadSpec spec;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < functions.size(); ++i)
+        norm += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+        const double share =
+            (1.0 / std::pow(static_cast<double>(i + 1), skew)) / norm;
+        spec.mix.push_back(
+            WorkloadEntry{functions[i], total_rps * share});
+    }
+    return spec;
+}
+
+WorkloadReport
+WorkloadDriver::run(const WorkloadSpec &spec)
+{
+    if (spec.mix.empty() && spec.trace.empty())
+        sim::fatal("WorkloadDriver: empty mix");
+
+    // Build the merged arrival schedule: the explicit trace if given,
+    // else Poisson streams per mix entry.
+    struct Arrival
+    {
+        double atSec;
+        std::string function;
+    };
+    std::vector<Arrival> arrivals;
+    if (!spec.trace.empty()) {
+        for (const TraceEvent &event : spec.trace)
+            arrivals.push_back(Arrival{event.atSec, event.function});
+    } else {
+        sim::Rng rng(spec.seed);
+        for (const auto &entry : spec.mix) {
+            if (entry.requestsPerSecond <= 0.0)
+                continue;
+            double t = 0.0;
+            for (;;) {
+                t += rng.exponential(1.0 / entry.requestsPerSecond);
+                if (t >= spec.durationSec)
+                    break;
+                arrivals.push_back(Arrival{t, entry.function});
+            }
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Arrival &a, const Arrival &b) {
+                  return a.atSec < b.atSec;
+              });
+
+    auto &clock = platform_.machine().ctx().clock();
+    const sim::SimTime start = clock.now();
+
+    WorkloadReport report;
+    for (const Arrival &arrival : arrivals) {
+        const sim::SimTime due =
+            start + sim::SimTime::seconds(arrival.atSec);
+        if (clock.now() < due) {
+            // The machine idles until the request arrives.
+            clock.advance(due - clock.now());
+        }
+        if (spec.keepAliveTtl > sim::SimTime::zero())
+            report.expired += platform_.expireIdle(spec.keepAliveTtl);
+
+        const std::string &fn = arrival.function;
+        const InvocationRecord rec = platform_.invoke(fn);
+        report.endToEnd.add(rec.endToEnd());
+        report.boot.add(rec.bootLatency);
+        report.perFunction[fn].add(rec.endToEnd());
+        ++report.requests;
+        if (rec.reusedInstance)
+            ++report.reuses;
+        else
+            ++report.boots;
+    }
+    report.residentInstances = platform_.totalInstances();
+    return report;
+}
+
+} // namespace catalyzer::platform

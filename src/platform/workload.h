@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Open-loop workload driver: Poisson request arrivals over a function
+ * mix, with keep-alive expiry, producing per-function and aggregate
+ * latency distributions.
+ *
+ * Used by the ablation benches to study what the paper argues in
+ * Sec. 2.2 and Sec. 6.9: keep-alive caches help the median but cannot
+ * fix the cold-boot tail, while fork boot is a *sustainable* hot boot.
+ */
+
+#ifndef CATALYZER_PLATFORM_WORKLOAD_H
+#define CATALYZER_PLATFORM_WORKLOAD_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "sim/stats.h"
+
+namespace catalyzer::platform {
+
+/** One function's share of the traffic. */
+struct WorkloadEntry
+{
+    std::string function;
+    /** Mean requests per (virtual) second, Poisson arrivals. */
+    double requestsPerSecond = 1.0;
+};
+
+/** One explicit request in a trace-driven workload. */
+struct TraceEvent
+{
+    double atSec = 0.0;
+    std::string function;
+};
+
+/** A complete workload description. */
+struct WorkloadSpec
+{
+    std::vector<WorkloadEntry> mix;
+    /**
+     * Explicit trace; when non-empty it overrides the Poisson mix and
+     * is replayed verbatim (production trace replay).
+     */
+    std::vector<TraceEvent> trace;
+    /** Virtual duration of the run. */
+    double durationSec = 10.0;
+    /** Keep-alive TTL for idle instances; zero disables expiry. */
+    sim::SimTime keepAliveTtl = sim::SimTime::zero();
+    /** Arrival-stream seed (independent of the machine seed). */
+    std::uint64_t seed = 1;
+
+    /**
+     * Build a Zipf-skewed mix over @p functions with the given total
+     * request rate (popularity rank follows catalog order).
+     */
+    static WorkloadSpec zipf(const std::vector<std::string> &functions,
+                             double total_rps, double skew = 1.0);
+};
+
+/** Aggregated results of one workload run. */
+struct WorkloadReport
+{
+    sim::LatencySeries endToEnd;
+    sim::LatencySeries boot;
+    std::map<std::string, sim::LatencySeries> perFunction;
+    std::size_t requests = 0;
+    std::size_t boots = 0;
+    std::size_t reuses = 0;
+    std::size_t expired = 0;
+    /** Live instances at the end of the run. */
+    std::size_t residentInstances = 0;
+};
+
+/**
+ * Drives a platform with a workload. Arrivals are replayed in order on
+ * the platform's virtual clock: if the clock lags the next arrival the
+ * driver idles forward; if it leads (backlog), requests run
+ * back-to-back.
+ */
+class WorkloadDriver
+{
+  public:
+    explicit WorkloadDriver(ServerlessPlatform &platform)
+        : platform_(platform)
+    {}
+
+    /** Run the workload to completion and report. */
+    WorkloadReport run(const WorkloadSpec &spec);
+
+  private:
+    ServerlessPlatform &platform_;
+};
+
+} // namespace catalyzer::platform
+
+#endif // CATALYZER_PLATFORM_WORKLOAD_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Boot latency reporting shared by all boot pipelines.
+ */
+
+#ifndef CATALYZER_SANDBOX_BOOT_REPORT_H
+#define CATALYZER_SANDBOX_BOOT_REPORT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace catalyzer::sandbox {
+
+/**
+ * Per-stage latencies of one boot, in order. Stages tagged as sandbox
+ * stages make up "sandbox initialization"; the rest is "application
+ * initialization" (the split of the paper's Fig. 4).
+ */
+class BootReport
+{
+  public:
+    /** Record a sandbox-side stage. */
+    void
+    addSandboxStage(std::string name, sim::SimTime t)
+    {
+        stages_.emplace_back(std::move(name), t);
+        sandbox_ += t;
+    }
+
+    /** Record an application-side stage. */
+    void
+    addAppStage(std::string name, sim::SimTime t)
+    {
+        stages_.emplace_back(std::move(name), t);
+        app_ += t;
+    }
+
+    sim::SimTime sandboxInit() const { return sandbox_; }
+    sim::SimTime appInit() const { return app_; }
+    sim::SimTime total() const { return sandbox_ + app_; }
+
+    const std::vector<std::pair<std::string, sim::SimTime>> &
+    stages() const
+    {
+        return stages_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, sim::SimTime>> stages_;
+    sim::SimTime sandbox_;
+    sim::SimTime app_;
+};
+
+} // namespace catalyzer::sandbox
+
+#endif // CATALYZER_SANDBOX_BOOT_REPORT_H

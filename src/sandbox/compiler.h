@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Func-image compilation (paper Sec. 5, "Func-image Compilation").
+ *
+ * The offline pipeline that turns a deployed function into a checkpoint
+ * image: (1) the user's func-entry point is inserted into the wrapper
+ * as an annotation, (2) the annotation is translated into the
+ * Gen-Func-Image syscall, (3) the wrapped program runs until it traps
+ * at the entry point, (4) the program state — memory, system metadata,
+ * I/O information — is saved into the image.
+ *
+ * The entry point is configurable (Sec. 6.7): it can be moved past a
+ * fraction of the handler's preparation work, optionally warmed with
+ * user-provided training requests (user-guided pre-initialization).
+ */
+
+#ifndef CATALYZER_SANDBOX_COMPILER_H
+#define CATALYZER_SANDBOX_COMPILER_H
+
+#include <memory>
+
+#include "sandbox/function_artifacts.h"
+#include "snapshot/func_image.h"
+
+namespace catalyzer::sandbox {
+
+/** Where the checkpoint is taken relative to the handler. */
+struct FuncEntryConfig
+{
+    /**
+     * Fraction of per-request preparation work moved before the entry
+     * point (0 = the default location, right before the wrapper invokes
+     * the handler).
+     */
+    double prepFraction = 0.0;
+    /** Training requests replayed before checkpointing. */
+    int trainingRequests = 0;
+};
+
+/**
+ * Compiles func-images offline. One compiler per machine; each compile
+ * boots a throwaway instance to the (configured) entry point and
+ * checkpoints it in the requested format.
+ */
+class FuncImageCompiler
+{
+  public:
+    explicit FuncImageCompiler(Machine &machine) : machine_(machine) {}
+
+    /**
+     * Run the four-step pipeline for @p fn. The resulting image is also
+     * stored into the artifacts (protoImage / separatedImage) so boot
+     * paths pick it up.
+     */
+    std::shared_ptr<snapshot::FuncImage>
+    compile(FunctionArtifacts &fn, snapshot::ImageFormat format,
+            FuncEntryConfig entry = {});
+
+  private:
+    Machine &machine_;
+};
+
+} // namespace catalyzer::sandbox
+
+#endif // CATALYZER_SANDBOX_COMPILER_H

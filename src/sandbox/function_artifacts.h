@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-function shared artifacts: binary, rootfs, FS server, func-images,
+ * warm-boot base mapping and the I/O cache.
+ *
+ * These are shared by every instance of a function on a machine — the
+ * page cache behind the binary and func-image is what makes second boots
+ * warm, and the BaseMapping is Catalyzer's shared Base-EPT.
+ */
+
+#ifndef CATALYZER_SANDBOX_FUNCTION_ARTIFACTS_H
+#define CATALYZER_SANDBOX_FUNCTION_ARTIFACTS_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.h"
+#include "mem/backing_file.h"
+#include "mem/base_mapping.h"
+#include "sandbox/machine.h"
+#include "snapshot/func_image.h"
+#include "vfs/fs_server.h"
+#include "vfs/io_connection.h"
+
+namespace catalyzer::sandbox {
+
+/** Shared, per-function state on one machine. */
+class FunctionArtifacts
+{
+  public:
+    FunctionArtifacts(Machine &machine, const apps::AppProfile &app);
+
+    const apps::AppProfile &app() const { return app_; }
+    mem::BackingFile &binary() { return *binary_; }
+    vfs::FsServer &fsServer() { return *fs_server_; }
+
+    /** Path of the i-th app-layer file (I/O connection targets). */
+    std::string appFilePath(std::size_t i) const;
+
+    /** Stock compressed checkpoint (gVisor-restore), built on demand. */
+    std::shared_ptr<snapshot::FuncImage> protoImage;
+    /** Catalyzer well-formed func-image, built on demand. */
+    std::shared_ptr<snapshot::FuncImage> separatedImage;
+
+    /** Shared Base-EPT over the separated image's memory section. */
+    std::shared_ptr<mem::BaseMapping> sharedBase;
+
+    /**
+     * Catalyzer's I/O cache: connection descriptors observed to be used
+     * right after boot (recorded by the first cold boot, Sec. 3.3).
+     */
+    std::vector<vfs::IoConnection> ioCache;
+
+    /** Page-cache warmth: false until something booted this function. */
+    bool firstBootDone = false;
+    /** False until the func-image was restored once on this machine. */
+    bool firstRestoreDone = false;
+
+    Machine &machine() { return machine_; }
+
+  private:
+    Machine &machine_;
+    const apps::AppProfile &app_;
+    std::unique_ptr<mem::BackingFile> binary_;
+    std::unique_ptr<vfs::FsServer> fs_server_;
+};
+
+/** Registry of per-function artifacts on one machine. */
+class FunctionRegistry
+{
+  public:
+    explicit FunctionRegistry(Machine &machine) : machine_(machine) {}
+
+    /** Get (building on first use) the artifacts for @p app. */
+    FunctionArtifacts &artifactsFor(const apps::AppProfile &app);
+
+    std::size_t size() const { return functions_.size(); }
+
+  private:
+    Machine &machine_;
+    std::map<std::string, std::unique_ptr<FunctionArtifacts>> functions_;
+};
+
+} // namespace catalyzer::sandbox
+
+#endif // CATALYZER_SANDBOX_FUNCTION_ARTIFACTS_H

@@ -1,0 +1,165 @@
+#include "sandbox/instance.h"
+
+#include <algorithm>
+
+#include "sim/clock.h"
+#include "sim/logging.h"
+#include "snapshot/io_reconnect.h"
+
+namespace catalyzer::sandbox {
+
+const char *
+bootKindName(BootKind kind)
+{
+    switch (kind) {
+      case BootKind::ColdFresh: return "cold-fresh";
+      case BootKind::ColdRestore: return "cold-restore";
+      case BootKind::WarmRestore: return "warm-restore";
+      case BootKind::ForkBoot: return "fork-boot";
+      case BootKind::Native: return "native";
+    }
+    return "?";
+}
+
+SandboxInstance::SandboxInstance(Machine &machine, FunctionArtifacts &fn,
+                                 std::string name,
+                                 hostos::HostProcess &proc, BootKind kind)
+    : machine_(machine), fn_(fn), name_(std::move(name)), proc_(&proc),
+      boot_kind_(kind)
+{
+}
+
+SandboxInstance::~SandboxInstance()
+{
+    if (!released_ && proc_) {
+        // Drop the rootfs view and guest first, then reap the process
+        // (which releases the address space's frames).
+        rootfs_.reset();
+        guest_.reset();
+        machine_.host().exitProcess(proc_->pid());
+        released_ = true;
+    }
+}
+
+void
+SandboxInstance::setGuest(std::unique_ptr<guest::GuestKernel> guest)
+{
+    guest_ = std::move(guest);
+}
+
+void
+SandboxInstance::setRootfs(std::unique_ptr<vfs::OverlayRootfs> rootfs)
+{
+    rootfs_ = std::move(rootfs);
+}
+
+sim::SimTime
+SandboxInstance::invoke()
+{
+    auto &ctx = machine_.ctx();
+    const apps::AppProfile &app = fn_.app();
+    sim::Stopwatch watch(ctx.clock());
+    ++invocations_;
+
+    //
+    // Touch the handler's working set: a small fraction of the heap
+    // (Insight II). Pages are strided across the whole heap so restored
+    // instances fault against the Base-EPT and sforked ones COW.
+    //
+    if (heap_pages_ > 0) {
+        auto touched = static_cast<std::size_t>(
+            static_cast<double>(heap_pages_) * app.execTouchFraction);
+        touched = std::clamp<std::size_t>(touched, 1, heap_pages_);
+        const std::size_t stride = std::max<std::size_t>(
+            heap_pages_ / touched, 1);
+        const auto writes = static_cast<std::size_t>(
+            static_cast<double>(touched) * app.execWriteFraction);
+        for (std::size_t k = 0; k < touched; ++k) {
+            const mem::PageIndex page =
+                heap_va_ + (k * stride) % heap_pages_;
+            proc_->space().touch(page, /*write=*/k < writes);
+        }
+    }
+
+    //
+    // Use the request-path I/O connections. On a restored instance the
+    // not-yet-established ones reconnect on demand, right here — this is
+    // the cost on-demand I/O reconnection moves off the boot path.
+    //
+    auto &conns = guest_->io().all();
+    const auto want = static_cast<std::size_t>(
+        static_cast<double>(conns.size()) * app.ioRequestFraction);
+    std::size_t used = 0;
+    for (auto &conn : conns) {
+        if (!conn.usedByRequests || used >= std::max<std::size_t>(want, 1))
+            continue;
+        ++used;
+        if (!conn.established) {
+            snapshot::reconnectConnection(ctx, conn, &fn_.fsServer());
+            ctx.stats().incr("exec.lazy_reconnects");
+        }
+        // The handler's actual I/O goes through the guest syscall
+        // policy (Table 1): reads for files, recvmsg for sockets.
+        guest_->syscall(conn.kind == vfs::ConnKind::Socket ? "recvmsg"
+                                                           : "read");
+    }
+
+    // On the very first request, the connections the function touches
+    // right after boot come due (lazily, if restore left them down).
+    if (invocations_ == 1) {
+        for (auto &conn : conns) {
+            if (conn.usedAtStartup && !conn.established) {
+                snapshot::reconnectConnection(ctx, conn, &fn_.fsServer());
+                ctx.stats().incr("exec.startup_reconnects");
+            }
+        }
+    }
+
+    // Request logging goes through the stateless overlay rootFS (all
+    // writes land in sandbox memory; persistent logs would use the FS
+    // server's read/write grants).
+    if (rootfs_) {
+        rootfs_->write("/var/log/" + app.name + ".request.log",
+                       256 + 64 * (invocations_ % 4));
+    }
+
+    // The handler's own compute (minus any work the fine-grained entry
+    // point moved into the checkpoint).
+    ctx.charge(app.execComputeCost * (1.0 - prep_fraction_));
+    ctx.stats().incr("exec.invocations");
+    return watch.elapsed();
+}
+
+void
+SandboxInstance::pretouchWorkingSet()
+{
+    const apps::AppProfile &app = fn_.app();
+    if (heap_pages_ == 0 || prep_fraction_ <= 0.0)
+        return;
+    auto touched = static_cast<std::size_t>(
+        static_cast<double>(heap_pages_) * app.execTouchFraction);
+    touched = std::clamp<std::size_t>(touched, 1, heap_pages_);
+    const std::size_t stride =
+        std::max<std::size_t>(heap_pages_ / touched, 1);
+    const auto prep = static_cast<std::size_t>(
+        static_cast<double>(touched) * prep_fraction_);
+    const auto writes = static_cast<std::size_t>(
+        static_cast<double>(touched) * app.execWriteFraction);
+    for (std::size_t k = 0; k < prep; ++k) {
+        const mem::PageIndex page = heap_va_ + (k * stride) % heap_pages_;
+        proc_->space().touch(page, /*write=*/k < writes);
+    }
+}
+
+snapshot::GuestState
+SandboxInstance::captureState() const
+{
+    snapshot::GuestState state;
+    state.app = &fn_.app();
+    state.kernelGraph = guest_->state();
+    state.ioConns = guest_->io().all();
+    state.memoryPages = heap_pages_;
+    return state;
+}
+
+} // namespace catalyzer::sandbox

@@ -1,0 +1,24 @@
+#include "sandbox/machine.h"
+
+namespace catalyzer::sandbox {
+
+vfs::InodeTree
+Machine::baseRootfs()
+{
+    vfs::InodeTree tree;
+    tree.addDir("/bin");
+    tree.addDir("/lib");
+    tree.addDir("/etc");
+    tree.addDir("/tmp");
+    tree.addDir("/var/log");
+    tree.addFile("/bin/sh", 120 << 10);
+    tree.addFile("/lib/libc.so.6", 2 << 20);
+    tree.addFile("/lib/libpthread.so.0", 160 << 10);
+    tree.addFile("/lib/ld-linux-x86-64.so.2", 190 << 10);
+    tree.addFile("/etc/passwd", 2 << 10);
+    tree.addFile("/etc/hosts", 1 << 10);
+    tree.addFile("/etc/resolv.conf", 512);
+    return tree;
+}
+
+} // namespace catalyzer::sandbox

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * One simulated physical machine: context plus host kernel.
+ */
+
+#ifndef CATALYZER_SANDBOX_MACHINE_H
+#define CATALYZER_SANDBOX_MACHINE_H
+
+#include <cstdint>
+
+#include "hostos/host_kernel.h"
+#include "sim/context.h"
+#include "vfs/inode_tree.h"
+
+namespace catalyzer::sandbox {
+
+/**
+ * Bundles the simulation context and the host kernel; every experiment
+ * creates one Machine (or two, to compare profiles).
+ */
+class Machine
+{
+  public:
+    explicit Machine(std::uint64_t seed = 42,
+                     sim::CostModel costs = sim::CostModel{})
+        : ctx_(seed, costs), host_(ctx_)
+    {}
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    sim::SimContext &ctx() { return ctx_; }
+    hostos::HostKernel &host() { return host_; }
+    mem::FrameStore &frames() { return host_.frames(); }
+
+    /** The distribution base rootfs shared by every function. */
+    static vfs::InodeTree baseRootfs();
+
+  private:
+    sim::SimContext ctx_;
+    hostos::HostKernel host_;
+};
+
+} // namespace catalyzer::sandbox
+
+#endif // CATALYZER_SANDBOX_MACHINE_H

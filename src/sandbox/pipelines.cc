@@ -1,0 +1,344 @@
+#include "sandbox/pipelines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sandbox/compiler.h"
+
+#include "sim/clock.h"
+#include "sim/logging.h"
+#include "snapshot/restore_baseline.h"
+
+namespace catalyzer::sandbox {
+
+const char *
+sandboxSystemName(SandboxSystem system)
+{
+    switch (system) {
+      case SandboxSystem::Native: return "Native";
+      case SandboxSystem::Docker: return "Docker";
+      case SandboxSystem::HyperContainer: return "HyperContainer";
+      case SandboxSystem::FireCracker: return "FireCracker";
+      case SandboxSystem::GVisor: return "gVisor";
+      case SandboxSystem::GVisorPtrace: return "gVisor-ptrace";
+      case SandboxSystem::GVisorRestore: return "gVisor-restore";
+    }
+    return "?";
+}
+
+std::unique_ptr<SandboxInstance>
+makeBareInstance(FunctionArtifacts &fn, BootKind kind, const char *tag)
+{
+    Machine &m = fn.machine();
+    auto &proc = m.host().spawnProcess(fn.app().name + "-" + tag);
+    auto inst = std::make_unique<SandboxInstance>(
+        m, fn, fn.app().name + "-" + tag, proc, kind);
+    inst->setGuest(std::make_unique<guest::GuestKernel>(
+        m.ctx(), inst->name() + "-kernel"));
+    return inst;
+}
+
+void
+constructGVisorSandbox(SandboxInstance &inst,
+                       const hostos::KvmConfig &kvm_config)
+{
+    Machine &m = inst.machine();
+    auto &ctx = m.ctx();
+    const auto &costs = ctx.costs();
+
+    hostos::KvmVm vm(ctx, kvm_config);
+    vm.createVm();
+    for (int i = 0; i < 4; ++i)
+        vm.createVcpu();
+    vm.setUserMemoryRegions(costs.kvmMemoryRegions);
+
+    inst.guest().initializeFresh();
+    inst.guest().mountRootfs(costs.guestMounts);
+    inst.guest().startGoRuntime();
+
+    // The Sentry's own working memory.
+    const auto self_pages = static_cast<std::size_t>(costs.sentrySelfPages);
+    const mem::PageIndex va =
+        inst.space().mapAnon(self_pages, true, "sentry-self");
+    inst.space().touchRange(va, self_pages, /*write=*/true);
+}
+
+void
+runApplicationInit(SandboxInstance &inst, BootReport &report,
+                   double slowdown)
+{
+    Machine &m = inst.machine();
+    auto &ctx = m.ctx();
+    FunctionArtifacts &fn = inst.artifacts();
+    const apps::AppProfile &app = fn.app();
+    const bool cold = !fn.firstBootDone;
+    sim::Stopwatch watch(ctx.clock());
+
+    // Map and fault in the program text and libraries.
+    const mem::PageIndex binary_va = inst.space().mapFile(
+        fn.binary(), 0, app.binaryPages, mem::MapKind::FilePrivate,
+        false, "binary");
+    inst.space().touchRange(binary_va, app.binaryPages, /*write=*/false,
+                            cold);
+    report.addAppStage("load-binary", watch.elapsed());
+    watch.restart();
+
+    // Language runtime boot (JVM / CPython / V8 / loader).
+    ctx.charge(app.runtimeBootCost * slowdown);
+    report.addAppStage("runtime-boot", watch.elapsed());
+    watch.restart();
+
+    // Class / module loading.
+    ctx.charge(app.perModuleCost *
+               static_cast<std::int64_t>(app.modulesLoaded) * slowdown);
+    report.addAppStage("load-modules", watch.elapsed());
+    watch.restart();
+
+    // Build the runtime + application heap.
+    const std::size_t heap_pages = app.heapPages();
+    const mem::PageIndex heap_va =
+        inst.space().mapAnon(heap_pages, true, "heap");
+    inst.space().touchRange(heap_va, heap_pages, /*write=*/true);
+    report.addAppStage("build-heap", watch.elapsed());
+    watch.restart();
+
+    // Application-specific setup.
+    ctx.charge(app.appSetupCost * slowdown);
+
+    // Open the function's I/O connections.
+    for (std::size_t i = 0; i < app.ioConnections; ++i) {
+        vfs::ConnKind kind;
+        std::string path;
+        if (i % 20 == 19) {
+            kind = vfs::ConnKind::LogFile;
+            path = "/var/log/" + app.name + std::to_string(i) + ".log";
+            fn.fsServer().grantLogFile(path);
+            inst.guest().syscall("openat");
+        } else if (i % 4 == 1) {
+            kind = vfs::ConnKind::Socket;
+            path = "tcp://backend:" + std::to_string(7000 + i);
+            ctx.charge(ctx.costs().openSocket);
+            inst.guest().syscall("getsockopt");
+        } else {
+            kind = vfs::ConnKind::File;
+            path = "/app/data/conn" + std::to_string(i);
+            vfs::FdEntry entry;
+            if (!fn.fsServer().openReadOnly(path, &entry))
+                sim::panic("app init: missing %s", path.c_str());
+            inst.guest().syscall("openat");
+        }
+        const bool at_startup = i < static_cast<std::size_t>(std::ceil(
+            static_cast<double>(app.ioConnections) *
+            app.ioStartupFraction));
+        inst.guest().io().add(kind, std::move(path), at_startup,
+                              /*used_by_requests=*/i % 2 == 0);
+    }
+
+    inst.guest().syncFdTable();
+
+    // Kernel metadata created on the way (threads, timers, mounts...).
+    inst.guest().setState(objgraph::ObjectGraph::synthesize(
+        ctx.rng(), app.graphSpec()));
+    if (inst.guest().threads().started()) {
+        for (int i = 0; i < app.blockingThreads; ++i)
+            inst.guest().threads().addBlockingThread();
+    }
+    inst.proc().setThreadCount(inst.guest().threads().totalThreads());
+
+    // The wrapper reaches the func-entry point.
+    inst.guest().reachFuncEntryPoint();
+    report.addAppStage("app-setup", watch.elapsed());
+
+    inst.setMemoryLayout(binary_va, heap_va, heap_pages,
+                         /*heap_on_base=*/false);
+    fn.firstBootDone = true;
+}
+
+namespace {
+
+/** Boot pipelines for the fresh-boot systems. */
+BootResult
+bootFresh(SandboxSystem system, FunctionArtifacts &fn)
+{
+    Machine &m = fn.machine();
+    auto &ctx = m.ctx();
+    const auto &costs = ctx.costs();
+    BootResult result;
+    sim::Stopwatch watch(ctx.clock());
+
+    double app_factor = 1.0;
+    switch (system) {
+      case SandboxSystem::Native: {
+        auto inst = makeBareInstance(fn, BootKind::Native, "native");
+        result.report.addSandboxStage("spawn-process", watch.elapsed());
+        result.instance = std::move(inst);
+        app_factor = 1.0;
+        break;
+      }
+      case SandboxSystem::Docker: {
+        ctx.charge(costs.parseConfig);
+        auto inst = makeBareInstance(fn, BootKind::ColdFresh, "docker");
+        ctx.charge(costs.dockerSetupFixed);
+        result.report.addSandboxStage("container-setup", watch.elapsed());
+        result.instance = std::move(inst);
+        app_factor = costs.dockerAppInitFactor;
+        break;
+      }
+      case SandboxSystem::HyperContainer: {
+        ctx.charge(costs.parseConfig);
+        auto inst = makeBareInstance(fn, BootKind::ColdFresh, "hyper");
+        ctx.charge(costs.hyperSetupFixed);
+        hostos::KvmVm vm(ctx, hostos::KvmConfig{});
+        vm.createVm();
+        vm.createVcpu();
+        vm.setUserMemoryRegions(8);
+        result.report.addSandboxStage("hypervm-setup", watch.elapsed());
+        result.instance = std::move(inst);
+        app_factor = costs.hyperAppInitFactor;
+        break;
+      }
+      case SandboxSystem::FireCracker: {
+        ctx.charge(costs.parseConfig);
+        auto inst = makeBareInstance(fn, BootKind::ColdFresh, "fc");
+        ctx.charge(costs.firecrackerVmmInit);
+        hostos::KvmVm vm(ctx, hostos::KvmConfig{});
+        vm.createVm();
+        vm.createVcpu();
+        vm.setUserMemoryRegions(6);
+        result.report.addSandboxStage("vmm-init", watch.elapsed());
+        watch.restart();
+        ctx.charge(costs.firecrackerKernelBoot);
+        result.report.addSandboxStage("guest-kernel-boot",
+                                      watch.elapsed());
+        result.instance = std::move(inst);
+        app_factor = costs.firecrackerAppInitFactor;
+        break;
+      }
+      case SandboxSystem::GVisor: {
+        ctx.charge(costs.parseConfig);
+        result.report.addSandboxStage("parse-config", watch.elapsed());
+        watch.restart();
+        auto inst = makeBareInstance(fn, BootKind::ColdFresh, "gvisor");
+        result.report.addSandboxStage("boot-sandbox-process",
+                                      watch.elapsed());
+        watch.restart();
+        constructGVisorSandbox(*inst, hostos::KvmConfig{});
+        result.report.addSandboxStage("create-kernel-platform",
+                                      watch.elapsed());
+        watch.restart();
+        ctx.charge(costs.gvisorRuncMisc);
+        result.report.addSandboxStage("runc-misc", watch.elapsed());
+        result.instance = std::move(inst);
+        app_factor = costs.gvisorAppInitFactor;
+        break;
+      }
+      case SandboxSystem::GVisorPtrace: {
+        // The ptrace platform skips all KVM setup but pays heavier
+        // syscall interception during application init.
+        ctx.charge(costs.parseConfig);
+        result.report.addSandboxStage("parse-config", watch.elapsed());
+        watch.restart();
+        auto inst = makeBareInstance(fn, BootKind::ColdFresh, "gvpt");
+        result.report.addSandboxStage("boot-sandbox-process",
+                                      watch.elapsed());
+        watch.restart();
+        inst->guest().initializeFresh();
+        inst->guest().mountRootfs(costs.guestMounts);
+        inst->guest().startGoRuntime();
+        const auto self_pages =
+            static_cast<std::size_t>(costs.sentrySelfPages);
+        const mem::PageIndex va =
+            inst->space().mapAnon(self_pages, true, "sentry-self");
+        inst->space().touchRange(va, self_pages, /*write=*/true);
+        result.report.addSandboxStage("create-kernel", watch.elapsed());
+        watch.restart();
+        ctx.charge(costs.gvisorRuncMisc);
+        result.report.addSandboxStage("runc-misc", watch.elapsed());
+        result.instance = std::move(inst);
+        app_factor = costs.gvisorPtraceAppInitFactor;
+        break;
+      }
+      case SandboxSystem::GVisorRestore:
+        sim::panic("bootFresh called for GVisorRestore");
+    }
+
+    runApplicationInit(*result.instance, result.report, app_factor);
+    result.instance->setBootLatency(result.report.total());
+    return result;
+}
+
+BootResult
+bootGVisorRestoreImpl(FunctionArtifacts &fn)
+{
+    Machine &m = fn.machine();
+    auto &ctx = m.ctx();
+    const auto &costs = ctx.costs();
+
+    // Offline: make sure the compressed checkpoint exists.
+    auto image = ensureProtoImage(fn);
+
+    BootResult result;
+    sim::Stopwatch watch(ctx.clock());
+
+    ctx.charge(costs.parseConfig);
+    result.report.addSandboxStage("parse-config", watch.elapsed());
+    watch.restart();
+    auto inst = makeBareInstance(fn, BootKind::ColdRestore, "gvr");
+    result.report.addSandboxStage("boot-sandbox-process", watch.elapsed());
+    watch.restart();
+    constructGVisorSandbox(*inst, hostos::KvmConfig{});
+    result.report.addSandboxStage("create-kernel-platform",
+                                  watch.elapsed());
+    watch.restart();
+    ctx.charge(costs.gvisorRuncMisc);
+    result.report.addSandboxStage("runc-misc", watch.elapsed());
+
+    snapshot::EagerRestoreEngine engine(ctx);
+    snapshot::RestoreBreakdown breakdown = engine.restore(
+        *image, inst->guest(), inst->space(), &fn.fsServer());
+    result.report.addAppStage("restore-app-memory", breakdown.appMemory);
+    result.report.addAppStage("restore-kernel", breakdown.kernelMeta);
+    result.report.addAppStage("restore-reconnect-io",
+                              breakdown.ioReconnect);
+
+    inst->setMemoryLayout(0, breakdown.heapVa,
+                          image->state().memoryPages,
+                          /*heap_on_base=*/false);
+    inst->proc().setThreadCount(inst->guest().threads().totalThreads());
+    inst->setBootLatency(result.report.total());
+    result.instance = std::move(inst);
+    return result;
+}
+
+} // namespace
+
+BootResult
+bootSandbox(SandboxSystem system, FunctionArtifacts &fn)
+{
+    if (system == SandboxSystem::GVisorRestore)
+        return bootGVisorRestoreImpl(fn);
+    return bootFresh(system, fn);
+}
+
+std::shared_ptr<snapshot::FuncImage>
+ensureProtoImage(FunctionArtifacts &fn)
+{
+    if (fn.protoImage)
+        return fn.protoImage;
+    // Offline: run the Sec. 5 compilation pipeline with the stock
+    // compressed codec.
+    FuncImageCompiler compiler(fn.machine());
+    return compiler.compile(fn, snapshot::ImageFormat::CompressedProto);
+}
+
+std::shared_ptr<snapshot::FuncImage>
+ensureSeparatedImage(FunctionArtifacts &fn)
+{
+    if (fn.separatedImage)
+        return fn.separatedImage;
+    FuncImageCompiler compiler(fn.machine());
+    return compiler.compile(fn,
+                            snapshot::ImageFormat::SeparatedWellFormed);
+}
+
+} // namespace catalyzer::sandbox

@@ -1,0 +1,28 @@
+#include "sim/clock.h"
+
+#include "sim/logging.h"
+
+namespace catalyzer::sim {
+
+void
+VirtualClock::advance(SimTime span)
+{
+    if (span < SimTime::zero())
+        panic("VirtualClock::advance: negative span %lld ns",
+              static_cast<long long>(span.toNs()));
+    now_ += span;
+}
+
+void
+VirtualClock::advanceParallel(SimTime per_item, std::int64_t count,
+                              int workers)
+{
+    if (count <= 0)
+        return;
+    if (workers < 1)
+        workers = 1;
+    const std::int64_t slices = (count + workers - 1) / workers;
+    advance(per_item * slices);
+}
+
+} // namespace catalyzer::sim

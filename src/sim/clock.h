@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The virtual clock that carries all simulated latency.
+ */
+
+#ifndef CATALYZER_SIM_CLOCK_H
+#define CATALYZER_SIM_CLOCK_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace catalyzer::sim {
+
+/**
+ * Monotonic virtual clock.
+ *
+ * Mechanisms charge their modelled cost with advance(); measurement code
+ * brackets an operation with now() before and after. The clock never moves
+ * backwards.
+ */
+class VirtualClock
+{
+  public:
+    VirtualClock() = default;
+
+    /** Current virtual time since simulation start. */
+    SimTime now() const { return now_; }
+
+    /** Move the clock forward by a span; negative spans are a bug. */
+    void advance(SimTime span);
+
+    /**
+     * Charge work that is spread across @p workers parallel CPUs:
+     * the clock advances by the per-item cost times ceil(count/workers).
+     */
+    void advanceParallel(SimTime per_item, std::int64_t count, int workers);
+
+    /** Reset to t=0 (used between independent experiment repetitions). */
+    void reset() { now_ = SimTime::zero(); }
+
+  private:
+    SimTime now_;
+};
+
+/**
+ * RAII span measurement: records the virtual time elapsed between
+ * construction and elapsed() calls.
+ */
+class Stopwatch
+{
+  public:
+    explicit Stopwatch(const VirtualClock &clock)
+        : clock_(clock), start_(clock.now())
+    {}
+
+    /** Virtual time elapsed since construction. */
+    SimTime elapsed() const { return clock_.now() - start_; }
+
+    /** Re-arm the stopwatch at the current instant. */
+    void restart() { start_ = clock_.now(); }
+
+  private:
+    const VirtualClock &clock_;
+    SimTime start_;
+};
+
+} // namespace catalyzer::sim
+
+#endif // CATALYZER_SIM_CLOCK_H

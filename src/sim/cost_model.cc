@@ -1,0 +1,22 @@
+#include "sim/cost_model.h"
+
+namespace catalyzer::sim {
+
+CostModel
+CostModel::serverProfile()
+{
+    CostModel c;
+    // The Ant Financial server machine: slower per-core clock (2.5 GHz vs
+    // the i7's 4.2 GHz boost) but many more cores for parallel recovery
+    // and a larger page cache.
+    c.restoreWorkers = 48;
+    c.cowFault = c.cowFault * 1.25;
+    c.memcpyPerPage = c.memcpyPerPage * 1.25;
+    c.deserializeObject = c.deserializeObject * 1.3;
+    c.redoObject = c.redoObject * 1.3;
+    c.pageCacheMissColdBoot = 0.004;
+    c.demandFaultFileCold = 52_us; // NVMe array
+    return c;
+}
+
+} // namespace catalyzer::sim

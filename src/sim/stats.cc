@@ -1,0 +1,91 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.h"
+
+namespace catalyzer::sim {
+
+void
+StatRegistry::incr(const std::string &name, std::int64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::int64_t
+StatRegistry::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatRegistry::clear()
+{
+    counters_.clear();
+}
+
+double
+LatencySeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double
+LatencySeries::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+LatencySeries::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+LatencySeries::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("LatencySeries::percentile: p=%f out of range", p);
+    auto s = sorted();
+    if (s.size() == 1)
+        return s.front();
+    const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= s.size())
+        return s.back();
+    return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+double
+LatencySeries::cdfAt(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    const auto n = static_cast<double>(samples_.size());
+    const auto below = std::count_if(samples_.begin(), samples_.end(),
+                                     [x](double v) { return v <= x; });
+    return static_cast<double>(below) / n;
+}
+
+std::vector<double>
+LatencySeries::sorted() const
+{
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    return s;
+}
+
+} // namespace catalyzer::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Counters and latency series for experiment reporting.
+ */
+
+#ifndef CATALYZER_SIM_STATS_H
+#define CATALYZER_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace catalyzer::sim {
+
+/**
+ * Named monotonically increasing counters (page faults, syscalls redone,
+ * objects deserialized, ...). Cheap enough to leave enabled everywhere.
+ */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if needed. */
+    void incr(const std::string &name, std::int64_t delta = 1);
+
+    /** Current value, or zero if never touched. */
+    std::int64_t value(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void clear();
+
+    /** Snapshot of all counters, sorted by name. */
+    const std::map<std::string, std::int64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::int64_t> counters_;
+};
+
+/**
+ * A series of latency samples with percentile and CDF queries.
+ * Samples are stored in milliseconds.
+ */
+class LatencySeries
+{
+  public:
+    /** Record one sample. */
+    void add(SimTime t) { samples_.push_back(t.toMs()); }
+    void addMs(double ms) { samples_.push_back(ms); }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+    /** Fraction of samples <= x (empirical CDF). */
+    double cdfAt(double x) const;
+
+    /** Sorted copy of the samples. */
+    std::vector<double> sorted() const;
+
+    const std::vector<double> &raw() const { return samples_; }
+
+    void clear() { samples_.clear(); }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace catalyzer::sim
+
+#endif // CATALYZER_SIM_STATS_H

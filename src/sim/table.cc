@@ -1,0 +1,133 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "sim/logging.h"
+
+namespace catalyzer::sim {
+
+std::string
+fmtMs(double ms)
+{
+    char buf[64];
+    if (ms >= 100.0)
+        std::snprintf(buf, sizeof(buf), "%.1f", ms);
+    else if (ms >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f", ms);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f", ms);
+    return buf;
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    char buf[64];
+    if (bytes >= 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / (1024.0 * 1024.0));
+    else if (bytes >= 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+    return buf;
+}
+
+std::string
+fmtSpeedup(double x)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", x);
+    return buf;
+}
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size())
+        panic("TextTable::addRow: %zu cells, header has %zu",
+              cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto account = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto &row : rows_)
+        account(row);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto pad = widths[i] - cells[i].size();
+            if (i == 0) {
+                os << cells[i] << std::string(pad, ' ');
+            } else {
+                os << "  " << std::string(pad, ' ') << cells[i];
+            }
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        total += widths[i] + (i ? 2 : 0);
+
+    if (!title_.empty())
+        os << title_ << '\n' << std::string(total, '=') << '\n';
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            os << std::string(total, '-') << '\n';
+        else
+            emit(row);
+    }
+}
+
+void
+TextTable::print() const
+{
+    print(std::cout);
+}
+
+void
+printCdf(std::ostream &os, const std::string &label,
+         const std::vector<double> &sorted_samples)
+{
+    os << "CDF " << label << " (n=" << sorted_samples.size() << ")\n";
+    const auto n = static_cast<double>(sorted_samples.size());
+    for (std::size_t i = 0; i < sorted_samples.size(); ++i) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "  %10.3f  %6.4f\n",
+                      sorted_samples[i],
+                      static_cast<double>(i + 1) / n);
+        os << buf;
+    }
+}
+
+} // namespace catalyzer::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text table and CDF rendering for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of one paper table or figure;
+ * this keeps the rendering consistent and diffable.
+ */
+
+#ifndef CATALYZER_SIM_TABLE_H
+#define CATALYZER_SIM_TABLE_H
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace catalyzer::sim {
+
+/** Format a millisecond quantity with sensible precision. */
+std::string fmtMs(double ms);
+
+/** Format a byte quantity with adaptive units (B/KB/MB). */
+std::string fmtBytes(double bytes);
+
+/** Format a ratio like "35.2x". */
+std::string fmtSpeedup(double x);
+
+/**
+ * Fixed-column text table. Column widths auto-size to content; the first
+ * column is left-aligned, the rest right-aligned (numeric convention).
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = {});
+
+    /** Set header cells; resets any existing rows' width accounting. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one row; must match the header arity if one was set. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+/**
+ * Print an empirical CDF as (x, fraction) pairs, matching the paper's
+ * CDF figures (e.g. Fig. 1).
+ */
+void printCdf(std::ostream &os, const std::string &label,
+              const std::vector<double> &sorted_samples);
+
+} // namespace catalyzer::sim
+
+#endif // CATALYZER_SIM_TABLE_H

@@ -1,0 +1,26 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace catalyzer::sim {
+
+std::string
+SimTime::toString() const
+{
+    char buf[64];
+    const double abs_ns = std::abs(static_cast<double>(ns_));
+    if (abs_ns >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.3f s", toSec());
+    } else if (abs_ns >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms", toMs());
+    } else if (abs_ns >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.3f us", toUs());
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lld ns",
+                      static_cast<long long>(ns_));
+    }
+    return buf;
+}
+
+} // namespace catalyzer::sim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Virtual time for the simulated host.
+ *
+ * All latencies in the library are expressed as SimTime values carried on
+ * a virtual clock; nothing in the simulation reads the wall clock, which
+ * keeps every run bit-for-bit reproducible.
+ */
+
+#ifndef CATALYZER_SIM_TIME_H
+#define CATALYZER_SIM_TIME_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace catalyzer::sim {
+
+/**
+ * A point or span of virtual time with nanosecond resolution.
+ *
+ * SimTime is a strong type (rather than a bare integer) so that latency
+ * arithmetic cannot be accidentally mixed with counts or byte sizes.
+ */
+class SimTime
+{
+  public:
+    constexpr SimTime() : ns_(0) {}
+
+    /** Construct from nanoseconds. */
+    static constexpr SimTime
+    nanoseconds(std::int64_t ns)
+    {
+        return SimTime(ns);
+    }
+
+    /** Construct from microseconds. */
+    static constexpr SimTime
+    microseconds(double us)
+    {
+        return SimTime(static_cast<std::int64_t>(us * 1e3));
+    }
+
+    /** Construct from milliseconds. */
+    static constexpr SimTime
+    milliseconds(double ms)
+    {
+        return SimTime(static_cast<std::int64_t>(ms * 1e6));
+    }
+
+    /** Construct from seconds. */
+    static constexpr SimTime
+    seconds(double s)
+    {
+        return SimTime(static_cast<std::int64_t>(s * 1e9));
+    }
+
+    /** Zero span. */
+    static constexpr SimTime zero() { return SimTime(0); }
+
+    constexpr std::int64_t toNs() const { return ns_; }
+    constexpr double toUs() const { return static_cast<double>(ns_) / 1e3; }
+    constexpr double toMs() const { return static_cast<double>(ns_) / 1e6; }
+    constexpr double toSec() const { return static_cast<double>(ns_) / 1e9; }
+
+    constexpr SimTime
+    operator+(SimTime other) const
+    {
+        return SimTime(ns_ + other.ns_);
+    }
+
+    constexpr SimTime
+    operator-(SimTime other) const
+    {
+        return SimTime(ns_ - other.ns_);
+    }
+
+    constexpr SimTime &
+    operator+=(SimTime other)
+    {
+        ns_ += other.ns_;
+        return *this;
+    }
+
+    constexpr SimTime &
+    operator-=(SimTime other)
+    {
+        ns_ -= other.ns_;
+        return *this;
+    }
+
+    /**
+     * Scale a span by a count or factor (e.g. per-object cost times
+     * object count). Counts are exact up to 2^53.
+     */
+    constexpr SimTime
+    operator*(double f) const
+    {
+        return SimTime(static_cast<std::int64_t>(
+            static_cast<double>(ns_) * f));
+    }
+
+    /** Divide a span, e.g. to spread work across parallel workers. */
+    constexpr SimTime
+    operator/(std::int64_t n) const
+    {
+        return SimTime(ns_ / n);
+    }
+
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+    /** Render with an adaptive unit, e.g. "1.369 ms" or "970 us". */
+    std::string toString() const;
+
+  private:
+    explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+
+    std::int64_t ns_;
+};
+
+constexpr SimTime
+operator*(double n, SimTime t)
+{
+    return t * n;
+}
+
+namespace time_literals {
+
+constexpr SimTime operator""_ns(unsigned long long v)
+{
+    return SimTime::nanoseconds(static_cast<std::int64_t>(v));
+}
+
+constexpr SimTime operator""_us(unsigned long long v)
+{
+    return SimTime::microseconds(static_cast<double>(v));
+}
+
+constexpr SimTime operator""_us(long double v)
+{
+    return SimTime::microseconds(static_cast<double>(v));
+}
+
+constexpr SimTime operator""_ms(unsigned long long v)
+{
+    return SimTime::milliseconds(static_cast<double>(v));
+}
+
+constexpr SimTime operator""_ms(long double v)
+{
+    return SimTime::milliseconds(static_cast<double>(v));
+}
+
+constexpr SimTime operator""_s(unsigned long long v)
+{
+    return SimTime::seconds(static_cast<double>(v));
+}
+
+} // namespace time_literals
+
+} // namespace catalyzer::sim
+
+#endif // CATALYZER_SIM_TIME_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Func-image: the checkpoint image of a serverless function at its
+ * func-entry point (paper Sec. 2.2 and Sec. 3).
+ *
+ * Two on-disk formats are modelled:
+ *  - CompressedProto: gVisor's stock checkpoint — compressed memory plus
+ *    a protobuf-style object stream (baseline, restored eagerly).
+ *  - SeparatedWellFormed: Catalyzer's well-formed image — uncompressed,
+ *    page-aligned memory suitable for direct mmap, a partially-
+ *    deserialized metadata arena, a relation table, and the I/O table.
+ */
+
+#ifndef CATALYZER_SNAPSHOT_FUNC_IMAGE_H
+#define CATALYZER_SNAPSHOT_FUNC_IMAGE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.h"
+#include "mem/backing_file.h"
+#include "mem/frame_store.h"
+#include "objgraph/object_graph.h"
+#include "objgraph/proto_codec.h"
+#include "objgraph/separated_image.h"
+#include "sim/context.h"
+#include "vfs/io_connection.h"
+
+namespace catalyzer::snapshot {
+
+/** Image format. */
+enum class ImageFormat { CompressedProto, SeparatedWellFormed };
+
+const char *imageFormatName(ImageFormat format);
+
+/** Everything checkpoint captures from a running instance. */
+struct GuestState
+{
+    const apps::AppProfile *app = nullptr;
+    objgraph::ObjectGraph kernelGraph;
+    std::vector<vfs::IoConnection> ioConns;
+    /** Heap pages resident at the func-entry point. */
+    std::size_t memoryPages = 0;
+    /**
+     * User-guided pre-initialization (Sec. 6.7): fraction of the
+     * handler's per-request preparation work that was warmed into the
+     * checkpoint with training requests. Instances restored from such
+     * an image start with that work already done.
+     */
+    double warmedPrepFraction = 0.0;
+};
+
+/**
+ * One func-image on storage. Owns the BackingFile standing for the image
+ * on disk (whose page-cache population is what warm boots share).
+ */
+class FuncImage
+{
+  public:
+    FuncImage(mem::FrameStore &frames, std::string function_name,
+              ImageFormat format, GuestState state);
+
+    const std::string &functionName() const { return function_name_; }
+    ImageFormat format() const { return format_; }
+    const GuestState &state() const { return state_; }
+    const apps::AppProfile &app() const { return *state_.app; }
+
+    /** Image file (page-cache participant). */
+    mem::BackingFile &file() { return *file_; }
+
+    /** Page extent of the memory section within the image file. */
+    mem::PageIndex memorySectionStart() const { return memory_start_; }
+    std::size_t memorySectionPages() const { return memory_pages_; }
+
+    /** Page extent of the metadata (arena + relation table) section. */
+    mem::PageIndex metadataSectionStart() const { return metadata_start_; }
+    std::size_t metadataSectionPages() const { return metadata_pages_; }
+
+    /** Baseline codec payload (CompressedProto only). */
+    const objgraph::ProtoImage &proto() const;
+
+    /** Separated metadata (SeparatedWellFormed only). */
+    const objgraph::SeparatedImage &separated() const;
+
+    /** Checkpointed I/O connections, in creation order. */
+    const std::vector<vfs::IoConnection> &ioTable() const
+    {
+        return state_.ioConns;
+    }
+
+    /** Total image size on storage, pages. */
+    std::size_t totalPages() const { return file_->npages(); }
+
+    /**
+     * Integrity state. markCorrupted() simulates storage rot / a torn
+     * write; verifyImage() (image_store.h) detects it and restore paths
+     * refuse to use the image.
+     */
+    bool corrupted() const { return corrupted_; }
+    void markCorrupted() { corrupted_ = true; }
+
+  private:
+    friend class CheckpointEngine;
+
+    std::string function_name_;
+    ImageFormat format_;
+    GuestState state_;
+    std::unique_ptr<mem::BackingFile> file_;
+    mem::PageIndex memory_start_ = 0;
+    std::size_t memory_pages_ = 0;
+    mem::PageIndex metadata_start_ = 0;
+    std::size_t metadata_pages_ = 0;
+    std::unique_ptr<objgraph::ProtoImage> proto_;
+    std::unique_ptr<objgraph::SeparatedImage> separated_;
+    bool corrupted_ = false;
+};
+
+/**
+ * Builds func-images offline (the checkpoint side of Fig. 8-a: all the
+ * expensive preparation — compression or arena re-organization — happens
+ * here, off the startup critical path).
+ */
+class CheckpointEngine
+{
+  public:
+    explicit CheckpointEngine(sim::SimContext &ctx) : ctx_(ctx) {}
+
+    /**
+     * Capture @p state into an image of @p format. Charges the offline
+     * cost to the context (callers bracket online spans separately).
+     */
+    std::shared_ptr<FuncImage> capture(mem::FrameStore &frames,
+                                       const std::string &function_name,
+                                       ImageFormat format,
+                                       GuestState state);
+
+  private:
+    sim::SimContext &ctx_;
+};
+
+} // namespace catalyzer::snapshot
+
+#endif // CATALYZER_SNAPSHOT_FUNC_IMAGE_H

@@ -1,0 +1,77 @@
+#include "snapshot/image_store.h"
+
+#include "sim/logging.h"
+
+namespace catalyzer::snapshot {
+
+std::string
+ImageStore::key(const std::string &name, ImageFormat format)
+{
+    return name + "/" + imageFormatName(format);
+}
+
+void
+ImageStore::publish(std::shared_ptr<FuncImage> image)
+{
+    if (!image)
+        sim::panic("ImageStore::publish: null image");
+    const std::string k = key(image->functionName(), image->format());
+    remote_[k] = image;
+    // The producing machine has it locally by construction.
+    local_[k] = std::move(image);
+    ctx_.stats().incr("snapshot.images_published");
+}
+
+std::shared_ptr<FuncImage>
+ImageStore::fetch(const std::string &function_name, ImageFormat format)
+{
+    const std::string k = key(function_name, format);
+    auto lit = local_.find(k);
+    if (lit != local_.end()) {
+        ctx_.stats().incr("snapshot.image_local_hits");
+        return lit->second;
+    }
+    auto rit = remote_.find(k);
+    if (rit == remote_.end())
+        return nullptr;
+    // Remote fetch: transfer the whole image, then validate the
+    // manifest.
+    const auto &costs = ctx_.costs();
+    const auto mib = static_cast<std::int64_t>(
+        mem::bytesForPages(rit->second->totalPages()) >> 20);
+    ctx_.chargeCounted("snapshot.image_remote_fetches",
+                       costs.networkFetchPerMiB *
+                           std::max<std::int64_t>(mib, 1));
+    ctx_.charge(costs.imageManifestParse);
+    local_[k] = rit->second;
+    return rit->second;
+}
+
+bool
+ImageStore::cachedLocally(const std::string &function_name,
+                          ImageFormat format) const
+{
+    return local_.contains(key(function_name, format));
+}
+
+void
+ImageStore::evictLocal(const std::string &function_name,
+                       ImageFormat format)
+{
+    local_.erase(key(function_name, format));
+}
+
+bool
+verifyImage(sim::SimContext &ctx, const FuncImage &image)
+{
+    const auto pages = static_cast<std::int64_t>(image.totalPages());
+    ctx.chargeCounted("snapshot.pages_checksummed",
+                      ctx.costs().checksumPerPage * pages, pages);
+    if (image.corrupted()) {
+        ctx.stats().incr("snapshot.corrupt_images_detected");
+        return false;
+    }
+    return true;
+}
+
+} // namespace catalyzer::snapshot

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Func-image storage: local cache in front of remote storage.
+ *
+ * The paper (Sec. 2.2, "Init-less booting") notes that func-images can
+ * live in local or remote storage and that a platform must fetch the
+ * image before its first cold boot. ImageStore models that: publishing
+ * is free at boot time (offline), the first fetch on a machine pays the
+ * network transfer, and later fetches hit the local cache.
+ *
+ * Images can also be integrity-checked before use: validation walks the
+ * manifest checksums (charged per page) and a corrupted image is
+ * rejected so the platform can fall back to a fresh boot and republish.
+ */
+
+#ifndef CATALYZER_SNAPSHOT_IMAGE_STORE_H
+#define CATALYZER_SNAPSHOT_IMAGE_STORE_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/context.h"
+#include "snapshot/func_image.h"
+
+namespace catalyzer::snapshot {
+
+/** One machine's view of func-image storage. */
+class ImageStore
+{
+  public:
+    explicit ImageStore(sim::SimContext &ctx) : ctx_(ctx) {}
+
+    /**
+     * Publish an image to remote storage (checkpoint side, offline).
+     * Replaces any previous image for the same function+format.
+     */
+    void publish(std::shared_ptr<FuncImage> image);
+
+    /**
+     * Fetch an image for @p function_name in @p format. The first fetch
+     * on this machine pays the network transfer (per-MiB) plus manifest
+     * validation; subsequent fetches are local. Returns nullptr if no
+     * image was ever published.
+     */
+    std::shared_ptr<FuncImage> fetch(const std::string &function_name,
+                                     ImageFormat format);
+
+    /** True if a fetch would be served locally. */
+    bool cachedLocally(const std::string &function_name,
+                       ImageFormat format) const;
+
+    /** Evict the local copy (e.g. cache pressure); remote copy stays. */
+    void evictLocal(const std::string &function_name, ImageFormat format);
+
+    std::size_t publishedCount() const { return remote_.size(); }
+    std::size_t localCount() const { return local_.size(); }
+
+  private:
+    static std::string key(const std::string &name, ImageFormat format);
+
+    sim::SimContext &ctx_;
+    std::map<std::string, std::shared_ptr<FuncImage>> remote_;
+    std::map<std::string, std::shared_ptr<FuncImage>> local_;
+};
+
+/**
+ * Verify an image's section checksums. Charges the per-page checksum
+ * cost; returns false for images flagged corrupted.
+ */
+bool verifyImage(sim::SimContext &ctx, const FuncImage &image);
+
+} // namespace catalyzer::snapshot
+
+#endif // CATALYZER_SNAPSHOT_IMAGE_STORE_H

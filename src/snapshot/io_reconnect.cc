@@ -1,0 +1,43 @@
+#include "snapshot/io_reconnect.h"
+
+#include "sim/logging.h"
+
+namespace catalyzer::snapshot {
+
+sim::SimTime
+reconnectConnection(sim::SimContext &ctx, vfs::IoConnection &conn,
+                    vfs::FsServer *server)
+{
+    if (conn.established)
+        return sim::SimTime::zero();
+    const auto &costs = ctx.costs();
+    const sim::SimTime before = ctx.now();
+
+    ctx.charge(costs.ioReconnectBase);
+    switch (conn.kind) {
+      case vfs::ConnKind::File:
+        if (server) {
+            vfs::FdEntry entry;
+            if (!server->openReadOnly(conn.path, &entry))
+                sim::warn("reconnect: %s vanished from rootfs",
+                          conn.path.c_str());
+        } else {
+            ctx.charge(costs.openFile);
+        }
+        break;
+      case vfs::ConnKind::LogFile:
+        if (server)
+            server->grantLogFile(conn.path);
+        else
+            ctx.charge(costs.openFile);
+        break;
+      case vfs::ConnKind::Socket:
+        ctx.charge(costs.openSocket);
+        break;
+    }
+    conn.established = true;
+    ctx.stats().incr("snapshot.io_reconnects");
+    return ctx.now() - before;
+}
+
+} // namespace catalyzer::snapshot

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Re-do of I/O system state: re-establishing checkpointed connections.
+ */
+
+#ifndef CATALYZER_SNAPSHOT_IO_RECONNECT_H
+#define CATALYZER_SNAPSHOT_IO_RECONNECT_H
+
+#include "sim/context.h"
+#include "vfs/fs_server.h"
+#include "vfs/io_connection.h"
+
+namespace catalyzer::snapshot {
+
+/**
+ * Re-establish one checkpointed connection (re-do the open/connect).
+ * Files go through the FS server (Gofer RPC + host open + dup); sockets
+ * pay the reconnect handshake. Marks the connection established.
+ *
+ * @return the latency charged for this reconnection.
+ */
+sim::SimTime reconnectConnection(sim::SimContext &ctx,
+                                 vfs::IoConnection &conn,
+                                 vfs::FsServer *server);
+
+} // namespace catalyzer::snapshot
+
+#endif // CATALYZER_SNAPSHOT_IO_RECONNECT_H

@@ -1,0 +1,73 @@
+#include "snapshot/restore_baseline.h"
+
+#include "sim/clock.h"
+#include "sim/logging.h"
+#include "snapshot/io_reconnect.h"
+
+namespace catalyzer::snapshot {
+
+RestoreBreakdown
+EagerRestoreEngine::restore(FuncImage &image, guest::GuestKernel &guest,
+                            mem::AddressSpace &space,
+                            vfs::FsServer *server)
+{
+    if (image.format() != ImageFormat::CompressedProto)
+        sim::panic("EagerRestoreEngine needs a CompressedProto image");
+    const auto &costs = ctx_.costs();
+    RestoreBreakdown breakdown;
+    sim::Stopwatch watch(ctx_.clock());
+
+    //
+    // Load application memory: decompress the memory section and copy
+    // every page into fresh anonymous memory.
+    //
+    const auto &state = image.state();
+    const auto mem_pages = static_cast<std::int64_t>(state.memoryPages);
+    ctx_.chargeCounted("restore.decompressed_pages",
+                       costs.decompressPerPage * mem_pages, mem_pages);
+    const mem::PageIndex heap =
+        space.mapAnon(state.memoryPages, true, "restored-heap");
+    space.touchRange(heap, state.memoryPages, /*write=*/true,
+                     /*cold=*/true);
+    breakdown.heapVa = heap;
+    breakdown.appMemory = watch.elapsed();
+    watch.restart();
+
+    //
+    // Recover kernel metadata: deserialize objects one by one, then
+    // re-do non-I/O kernel state (thread contexts, timers, mounts...).
+    //
+    const auto nobjects =
+        static_cast<std::int64_t>(image.proto().objectCount());
+    ctx_.chargeCounted("restore.deserialized_objects",
+                       costs.deserializeObject * nobjects, nobjects);
+    objgraph::ObjectGraph graph = image.proto().reconstruct();
+    ctx_.chargeCounted("restore.redone_objects",
+                       costs.redoObject * nobjects, nobjects);
+    guest.setState(std::move(graph));
+    if (!guest.threads().started())
+        guest.startGoRuntime();
+    for (int i = 0; i < state.app->blockingThreads; ++i)
+        guest.threads().addBlockingThread();
+    breakdown.kernelMeta = watch.elapsed();
+    watch.restart();
+
+    //
+    // Reconnect every checkpointed I/O connection, eagerly.
+    //
+    for (const vfs::IoConnection &saved : image.ioTable()) {
+        const std::uint64_t id = guest.io().add(
+            saved.kind, saved.path, saved.usedAtStartup,
+            saved.usedByRequests);
+        vfs::IoConnection *conn = guest.io().find(id);
+        conn->established = false;
+        reconnectConnection(ctx_, *conn, server);
+    }
+    guest.syncFdTable();
+    breakdown.ioReconnect = watch.elapsed();
+
+    ctx_.stats().incr("restore.eager_restores");
+    return breakdown;
+}
+
+} // namespace catalyzer::snapshot

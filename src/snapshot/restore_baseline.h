@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Baseline eager restore (gVisor-restore in the paper).
+ *
+ * Everything happens on the critical path: decompress and load all
+ * application memory, deserialize every metadata object one by one,
+ * re-do non-I/O kernel state, and re-establish every I/O connection.
+ */
+
+#ifndef CATALYZER_SNAPSHOT_RESTORE_BASELINE_H
+#define CATALYZER_SNAPSHOT_RESTORE_BASELINE_H
+
+#include "guest/guest_kernel.h"
+#include "mem/address_space.h"
+#include "snapshot/func_image.h"
+#include "vfs/fs_server.h"
+
+namespace catalyzer::snapshot {
+
+/** Per-phase latency of one restore (Fig. 2 / Fig. 12 rows). */
+struct RestoreBreakdown
+{
+    sim::SimTime appMemory;   ///< "Load App memory"
+    sim::SimTime kernelMeta;  ///< "Recover Kernel" (non-I/O system state)
+    sim::SimTime ioReconnect; ///< "Reconnect I/O"
+    /** Where the restored heap landed in the sandbox's address space. */
+    mem::PageIndex heapVa = 0;
+
+    sim::SimTime
+    total() const
+    {
+        return appMemory + kernelMeta + ioReconnect;
+    }
+};
+
+/**
+ * The stock checkpoint/restore path. Requires a CompressedProto image.
+ */
+class EagerRestoreEngine
+{
+  public:
+    explicit EagerRestoreEngine(sim::SimContext &ctx) : ctx_(ctx) {}
+
+    /**
+     * Restore @p image into a fresh guest: loads memory into @p space,
+     * rebuilds @p guest's object graph and thread census, reconnects all
+     * I/O through @p server.
+     */
+    RestoreBreakdown restore(FuncImage &image, guest::GuestKernel &guest,
+                             mem::AddressSpace &space,
+                             vfs::FsServer *server);
+
+  private:
+    sim::SimContext &ctx_;
+};
+
+} // namespace catalyzer::snapshot
+
+#endif // CATALYZER_SNAPSHOT_RESTORE_BASELINE_H

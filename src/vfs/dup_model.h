@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared latency model for dup()/dup2() (paper Fig. 16d).
+ *
+ * A dup on a table with free slots is cheap; a dup that forces fdtable
+ * expansion usually costs around a millisecond and occasionally hits a
+ * multi-millisecond reclaim stall. Catalyzer's lazy-dup keeps the
+ * expansion off the critical path entirely.
+ */
+
+#ifndef CATALYZER_VFS_DUP_MODEL_H
+#define CATALYZER_VFS_DUP_MODEL_H
+
+#include "sim/context.h"
+
+namespace catalyzer::vfs {
+
+/**
+ * Charge one dup() to the context.
+ *
+ * @param ctx      Simulation context.
+ * @param expanded Whether the allocation grew the fd table.
+ * @param lazy     Lazy-dup: the visible fd was pre-available and the
+ *                 real dup happens off the critical path.
+ * @return the latency charged.
+ */
+sim::SimTime chargeDup(sim::SimContext &ctx, bool expanded, bool lazy);
+
+} // namespace catalyzer::vfs
+
+#endif // CATALYZER_VFS_DUP_MODEL_H

@@ -1,0 +1,86 @@
+#include "vfs/fd_table.h"
+
+#include "sim/logging.h"
+
+namespace catalyzer::vfs {
+
+FdTable::FdTable()
+{
+    slots_.resize(kInitialCapacity);
+}
+
+void
+FdTable::expand()
+{
+    slots_.resize(slots_.size() * 2);
+}
+
+int
+FdTable::allocate(FdEntry entry, bool *expanded)
+{
+    return allocateAtLeast(0, std::move(entry), expanded);
+}
+
+int
+FdTable::allocateAtLeast(int min_fd, FdEntry entry, bool *expanded)
+{
+    if (expanded)
+        *expanded = false;
+    if (min_fd < 0)
+        sim::panic("FdTable::allocateAtLeast: negative min_fd");
+    for (;;) {
+        for (std::size_t fd = static_cast<std::size_t>(min_fd);
+             fd < slots_.size(); ++fd) {
+            if (!slots_[fd].has_value()) {
+                slots_[fd] = std::move(entry);
+                ++in_use_;
+                return static_cast<int>(fd);
+            }
+        }
+        expand();
+        if (expanded)
+            *expanded = true;
+    }
+}
+
+void
+FdTable::close(int fd)
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= slots_.size() ||
+        !slots_[static_cast<std::size_t>(fd)].has_value()) {
+        sim::panic("FdTable::close: fd %d not open", fd);
+    }
+    slots_[static_cast<std::size_t>(fd)].reset();
+    --in_use_;
+}
+
+FdEntry *
+FdTable::get(int fd)
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= slots_.size())
+        return nullptr;
+    auto &slot = slots_[static_cast<std::size_t>(fd)];
+    return slot.has_value() ? &*slot : nullptr;
+}
+
+const FdEntry *
+FdTable::get(int fd) const
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= slots_.size())
+        return nullptr;
+    const auto &slot = slots_[static_cast<std::size_t>(fd)];
+    return slot.has_value() ? &*slot : nullptr;
+}
+
+std::vector<std::pair<int, FdEntry>>
+FdTable::liveEntries() const
+{
+    std::vector<std::pair<int, FdEntry>> out;
+    for (std::size_t fd = 0; fd < slots_.size(); ++fd) {
+        if (slots_[fd].has_value())
+            out.emplace_back(static_cast<int>(fd), *slots_[fd]);
+    }
+    return out;
+}
+
+} // namespace catalyzer::vfs

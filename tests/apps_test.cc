@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the application profile catalog.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.h"
+
+namespace catalyzer::apps {
+namespace {
+
+TEST(AppCatalogTest, CatalogCoversAllSuites)
+{
+    EXPECT_EQ(figure11Apps().size(), 10u);
+    EXPECT_EQ(appsInSuite(Suite::DeathStar).size(), 5u);
+    EXPECT_EQ(appsInSuite(Suite::Pillow).size(), 5u);
+    EXPECT_EQ(appsInSuite(Suite::Ecommerce).size(), 4u);
+    // Fig. 1's CDF covers the 14 end-to-end functions.
+    EXPECT_EQ(endToEndApps().size(), 14u);
+}
+
+TEST(AppCatalogTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &app : allApps())
+        EXPECT_TRUE(names.insert(app.name).second) << app.name;
+}
+
+TEST(AppCatalogTest, LookupByName)
+{
+    const AppProfile &app = appByName("java-specjbb");
+    EXPECT_EQ(app.displayName, "Java-SPECjbb");
+    EXPECT_EQ(app.language, Language::Java);
+    // The paper's measured object count (Sec. 2.2).
+    EXPECT_EQ(app.kernelObjects, 37838u);
+}
+
+TEST(AppCatalogTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(appByName("no-such-app"), ::testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+TEST(AppCatalogTest, ProfilesAreInternallyConsistent)
+{
+    for (const auto &app : allApps()) {
+        EXPECT_GT(app.heapPages(), 0u) << app.name;
+        EXPECT_GT(app.binaryPages, 0u) << app.name;
+        EXPECT_GT(app.kernelObjects, 0u) << app.name;
+        EXPECT_GT(app.ioConnections, 0u) << app.name;
+        EXPECT_GT(app.initComputeCost().toNs(), 0) << app.name;
+        EXPECT_GT(app.execComputeCost.toNs(), 0) << app.name;
+        EXPECT_GE(app.execTouchFraction, 0.0);
+        EXPECT_LE(app.execTouchFraction, 1.0);
+        EXPECT_GE(app.ioStartupFraction, 0.0);
+        EXPECT_LE(app.ioStartupFraction, 1.0);
+        // Insight II: execution touches a small fraction of init state.
+        EXPECT_LE(app.execTouchFraction, 0.5) << app.name;
+    }
+}
+
+TEST(AppCatalogTest, HelloIsLighterThanRealApp)
+{
+    const char *pairs[][2] = {
+        {"c-hello", "c-nginx"},
+        {"java-hello", "java-specjbb"},
+        {"python-hello", "python-django"},
+        {"ruby-hello", "ruby-sinatra"},
+        {"nodejs-hello", "nodejs-web"},
+    };
+    for (const auto &pair : pairs) {
+        const AppProfile &hello = appByName(pair[0]);
+        const AppProfile &real = appByName(pair[1]);
+        EXPECT_LT(hello.initComputeCost().toMs(),
+                  real.initComputeCost().toMs())
+            << pair[1];
+        EXPECT_LT(hello.kernelObjects, real.kernelObjects) << pair[1];
+        EXPECT_LE(hello.heapPages(), real.heapPages()) << pair[1];
+    }
+}
+
+TEST(AppCatalogTest, HighLevelLanguagesCostMoreThanC)
+{
+    const double c_init = appByName("c-hello").initComputeCost().toMs();
+    for (const char *name :
+         {"java-hello", "python-hello", "ruby-hello", "nodejs-hello"}) {
+        EXPECT_GT(appByName(name).initComputeCost().toMs(), c_init)
+            << name;
+    }
+}
+
+TEST(AppCatalogTest, GraphSpecScalesToProfile)
+{
+    const AppProfile &app = appByName("python-django");
+    const auto spec = app.graphSpec();
+    const double ratio = static_cast<double>(spec.totalObjects()) /
+                         static_cast<double>(app.kernelObjects);
+    EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(AppCatalogTest, LanguageNames)
+{
+    EXPECT_STREQ(languageName(Language::NodeJs), "Node.js");
+    EXPECT_STREQ(languageName(Language::Cpp), "C++");
+}
+
+} // namespace
+} // namespace catalyzer::apps

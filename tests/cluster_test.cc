@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the multi-machine cluster and placement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/cluster.h"
+
+namespace catalyzer::platform {
+namespace {
+
+TEST(ClusterTest, RoundRobinSpreadsInstances)
+{
+    Cluster cluster(4, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerWarm});
+    cluster.deploy(apps::appByName("ds-text"));
+    for (int i = 0; i < 8; ++i)
+        cluster.invoke("ds-text");
+    const auto placement = cluster.placementOf("ds-text");
+    for (std::size_t count : placement)
+        EXPECT_EQ(count, 2u);
+}
+
+TEST(ClusterTest, AffinityKeepsFunctionsHome)
+{
+    Cluster cluster(4, PlacementPolicy::FunctionAffinity,
+                    PlatformConfig{BootStrategy::CatalyzerWarm});
+    cluster.deploy(apps::appByName("ds-text"));
+    std::size_t home = cluster.invoke("ds-text").machineIndex;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(cluster.invoke("ds-text").machineIndex, home);
+    const auto placement = cluster.placementOf("ds-text");
+    EXPECT_EQ(placement[home], 6u);
+}
+
+TEST(ClusterTest, LeastLoadedBalances)
+{
+    Cluster cluster(3, PlacementPolicy::LeastLoaded,
+                    PlatformConfig{BootStrategy::CatalyzerWarm});
+    cluster.deploy(apps::appByName("ds-text"));
+    cluster.deploy(apps::appByName("ds-media"));
+    for (int i = 0; i < 9; ++i)
+        cluster.invoke(i % 2 ? "ds-text" : "ds-media");
+    EXPECT_EQ(cluster.totalInstances(), 9u);
+    // No machine is more than slightly ahead.
+    std::size_t max_load = 0, min_load = 100;
+    for (std::size_t i = 0; i < cluster.machineCount(); ++i) {
+        const std::size_t load = cluster.platform(i).totalInstances();
+        max_load = std::max(max_load, load);
+        min_load = std::min(min_load, load);
+    }
+    EXPECT_LE(max_load - min_load, 1u);
+}
+
+TEST(ClusterTest, AffinityPreservesWarmLocality)
+{
+    // Under affinity every request of a function lands on its home
+    // machine, so after the first cold boot everything is warm. Under
+    // round robin each machine pays its own cold boot.
+    auto run = [](PlacementPolicy policy) {
+        Cluster cluster(4, policy,
+                        PlatformConfig{BootStrategy::CatalyzerAuto});
+        cluster.deploy(apps::appByName("python-hello"));
+        double total_boot = 0.0;
+        for (int i = 0; i < 8; ++i)
+            total_boot +=
+                cluster.invoke("python-hello").record.bootLatency.toMs();
+        return total_boot;
+    };
+    EXPECT_LT(run(PlacementPolicy::FunctionAffinity),
+              run(PlacementPolicy::RoundRobin));
+}
+
+TEST(ClusterTest, RemoteImagesFetchedPerMachine)
+{
+    core::CatalyzerOptions options;
+    options.remoteImages = true;
+    Cluster cluster(3, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerCold}, options);
+    cluster.deploy(apps::appByName("c-hello"));
+    for (int i = 0; i < 6; ++i)
+        cluster.invoke("c-hello");
+    // Each machine fetched the image exactly once.
+    for (std::size_t i = 0; i < cluster.machineCount(); ++i) {
+        EXPECT_EQ(cluster.machine(i).ctx().stats().value(
+                      "snapshot.image_remote_fetches"), 1)
+            << "machine " << i;
+    }
+}
+
+TEST(ClusterTest, EmptyClusterIsFatal)
+{
+    EXPECT_EXIT((Cluster{0, PlacementPolicy::RoundRobin}),
+                ::testing::ExitedWithCode(1), "at least one machine");
+}
+
+TEST(ClusterTest, PolicyNames)
+{
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::LeastLoaded),
+                 "least-loaded");
+}
+
+} // namespace
+} // namespace catalyzer::platform

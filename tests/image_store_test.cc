@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for func-image storage: remote fetch, local caching, integrity
+ * verification and the corrupted-image fallback path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "catalyzer/runtime.h"
+#include "sandbox/pipelines.h"
+#include "snapshot/image_store.h"
+
+namespace catalyzer::snapshot {
+namespace {
+
+using sandbox::FunctionArtifacts;
+using sandbox::FunctionRegistry;
+using sandbox::Machine;
+
+std::shared_ptr<FuncImage>
+buildImage(FunctionRegistry &registry, const char *app)
+{
+    return sandbox::ensureSeparatedImage(
+        registry.artifactsFor(apps::appByName(app)));
+}
+
+TEST(ImageStoreTest, FetchUnknownReturnsNull)
+{
+    Machine machine(1);
+    ImageStore store(machine.ctx());
+    EXPECT_EQ(store.fetch("nope", ImageFormat::SeparatedWellFormed),
+              nullptr);
+}
+
+TEST(ImageStoreTest, PublishThenLocalFetchIsFree)
+{
+    Machine machine(1);
+    FunctionRegistry registry(machine);
+    ImageStore store(machine.ctx());
+    store.publish(buildImage(registry, "c-hello"));
+
+    const auto before = machine.ctx().now();
+    auto image = store.fetch("c-hello", ImageFormat::SeparatedWellFormed);
+    ASSERT_NE(image, nullptr);
+    EXPECT_EQ(machine.ctx().now(), before); // local hit: no charge
+    EXPECT_EQ(machine.ctx().stats().value("snapshot.image_local_hits"),
+              1);
+}
+
+TEST(ImageStoreTest, RemoteFetchPaysNetworkOnce)
+{
+    Machine machine(1);
+    FunctionRegistry registry(machine);
+    ImageStore store(machine.ctx());
+    auto image = buildImage(registry, "python-hello");
+    store.publish(image);
+    store.evictLocal("python-hello", ImageFormat::SeparatedWellFormed);
+    EXPECT_FALSE(store.cachedLocally("python-hello",
+                                     ImageFormat::SeparatedWellFormed));
+
+    const auto before = machine.ctx().now();
+    auto fetched =
+        store.fetch("python-hello", ImageFormat::SeparatedWellFormed);
+    ASSERT_EQ(fetched.get(), image.get());
+    const double fetch_ms = (machine.ctx().now() - before).toMs();
+    // ~20 MB image over the network: tens of ms.
+    EXPECT_GT(fetch_ms, 5.0);
+    EXPECT_EQ(machine.ctx().stats().value(
+                  "snapshot.image_remote_fetches"), 1);
+
+    // Second fetch is local.
+    const auto mid = machine.ctx().now();
+    store.fetch("python-hello", ImageFormat::SeparatedWellFormed);
+    EXPECT_EQ(machine.ctx().now(), mid);
+}
+
+TEST(ImageStoreTest, VerifyDetectsCorruption)
+{
+    Machine machine(1);
+    FunctionRegistry registry(machine);
+    auto image = buildImage(registry, "c-hello");
+    EXPECT_TRUE(verifyImage(machine.ctx(), *image));
+    image->markCorrupted();
+    EXPECT_FALSE(verifyImage(machine.ctx(), *image));
+    EXPECT_GT(machine.ctx().stats().value(
+                  "snapshot.pages_checksummed"), 0);
+    EXPECT_EQ(machine.ctx().stats().value(
+                  "snapshot.corrupt_images_detected"), 1);
+}
+
+TEST(ImageStoreTest, RuntimeRemoteImagesChargeFirstColdBoot)
+{
+    Machine machine(42);
+    FunctionRegistry registry(machine);
+    core::CatalyzerOptions options;
+    options.remoteImages = true;
+    core::CatalyzerRuntime runtime(machine, options);
+    auto &fn = registry.artifactsFor(apps::appByName("python-hello"));
+
+    runtime.bootCold(fn);
+    EXPECT_EQ(machine.ctx().stats().value(
+                  "snapshot.image_remote_fetches"), 1);
+    runtime.bootCold(fn);
+    // Still one: the image is now local.
+    EXPECT_EQ(machine.ctx().stats().value(
+                  "snapshot.image_remote_fetches"), 1);
+}
+
+TEST(ImageStoreTest, RuntimeRebuildsCorruptImage)
+{
+    Machine machine(42);
+    FunctionRegistry registry(machine);
+    core::CatalyzerOptions options;
+    options.verifyImages = true;
+    core::CatalyzerRuntime runtime(machine, options);
+    auto &fn = registry.artifactsFor(apps::appByName("c-hello"));
+
+    // Healthy boot first; then rot the image on storage.
+    auto first = runtime.bootCold(fn);
+    EXPECT_EQ(machine.ctx().stats().value("catalyzer.image_rebuilds"), 0);
+    fn.separatedImage->markCorrupted();
+
+    auto second = runtime.bootCold(fn);
+    ASSERT_NE(second.instance, nullptr);
+    EXPECT_EQ(machine.ctx().stats().value("catalyzer.image_rebuilds"), 1);
+    EXPECT_FALSE(fn.separatedImage->corrupted());
+    // The restored guest still has valid state.
+    EXPECT_TRUE(second.instance->guest().state().checkIntegrity());
+}
+
+} // namespace
+} // namespace catalyzer::snapshot

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the priority-based boot-policy manager (Sec. 6.9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/policy.h"
+
+namespace catalyzer::platform {
+namespace {
+
+using sandbox::BootKind;
+using sandbox::Machine;
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    PolicyTest()
+        : machine(42),
+          platform(machine,
+                   PlatformConfig{BootStrategy::CatalyzerAuto}),
+          manager(platform, PolicyConfig{})
+    {
+        for (const char *name : {"ds-text", "ds-media", "python-hello"})
+            platform.deploy(apps::appByName(name));
+    }
+
+    Machine machine;
+    ServerlessPlatform platform;
+    BootPolicyManager manager;
+};
+
+TEST_F(PolicyTest, DefaultPriorityIsNormal)
+{
+    EXPECT_EQ(manager.priority("ds-text"), FunctionPriority::Normal);
+    manager.setPriority("ds-text", FunctionPriority::High);
+    EXPECT_EQ(manager.priority("ds-text"), FunctionPriority::High);
+}
+
+TEST_F(PolicyTest, HighPriorityGetsTemplateEvenWhenQuiet)
+{
+    manager.setPriority("ds-text", FunctionPriority::High);
+    manager.rebalance();
+    EXPECT_NE(platform.catalyzer().templateFor("ds-text"), nullptr);
+    // Subsequent invocations fork-boot.
+    const auto rec = manager.invoke("ds-text");
+    EXPECT_EQ(rec.bootKind, BootKind::ForkBoot);
+}
+
+TEST_F(PolicyTest, HotNormalFunctionEarnsTemplate)
+{
+    for (int i = 0; i < 8; ++i)
+        manager.invoke("ds-media"); // cold, then warm boots
+    EXPECT_EQ(platform.catalyzer().templateFor("ds-media"), nullptr);
+    manager.rebalance();
+    EXPECT_NE(platform.catalyzer().templateFor("ds-media"), nullptr);
+}
+
+TEST_F(PolicyTest, LowPriorityNeverGetsTemplate)
+{
+    manager.setPriority("python-hello", FunctionPriority::Low);
+    for (int i = 0; i < 50; ++i)
+        manager.observe("python-hello");
+    manager.rebalance();
+    EXPECT_EQ(platform.catalyzer().templateFor("python-hello"), nullptr);
+}
+
+TEST_F(PolicyTest, ColdFunctionsLoseTheirTemplate)
+{
+    for (int i = 0; i < 8; ++i)
+        manager.observe("ds-text");
+    manager.rebalance();
+    ASSERT_NE(platform.catalyzer().templateFor("ds-text"), nullptr);
+
+    // No traffic for several windows: the counter decays below the
+    // hot threshold and the template is reclaimed.
+    manager.rebalance();
+    manager.rebalance();
+    EXPECT_EQ(platform.catalyzer().templateFor("ds-text"), nullptr);
+}
+
+TEST_F(PolicyTest, BudgetCapsTemplatePool)
+{
+    PolicyConfig tight;
+    tight.templateMemoryBudgetBytes = 12u << 20; // fits ~one template
+    BootPolicyManager small(platform, tight);
+    for (int i = 0; i < 10; ++i) {
+        small.observe("ds-text");
+        small.observe("ds-media");
+    }
+    small.rebalance();
+    EXPECT_LE(small.templatedFunctions().size(), 1u);
+    EXPECT_LE(small.templateMemoryBytes(),
+              tight.templateMemoryBudgetBytes);
+}
+
+TEST_F(PolicyTest, TemplateMemoryAccounting)
+{
+    manager.setPriority("ds-text", FunctionPriority::High);
+    manager.rebalance();
+    EXPECT_GT(manager.templateMemoryBytes(), 0u);
+    EXPECT_EQ(manager.templatedFunctions().size(), 1u);
+}
+
+TEST(PolicyNamesTest, PriorityNames)
+{
+    EXPECT_STREQ(functionPriorityName(FunctionPriority::High), "high");
+    EXPECT_STREQ(functionPriorityName(FunctionPriority::Low), "low");
+}
+
+} // namespace
+} // namespace catalyzer::platform

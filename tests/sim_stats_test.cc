@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for counters, latency series and table rendering.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+#include "sim/table.h"
+
+namespace catalyzer::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(StatRegistryTest, IncrementAndRead)
+{
+    StatRegistry stats;
+    EXPECT_EQ(stats.value("x"), 0);
+    stats.incr("x");
+    stats.incr("x", 4);
+    EXPECT_EQ(stats.value("x"), 5);
+    stats.incr("y", -2);
+    EXPECT_EQ(stats.value("y"), -2);
+    EXPECT_EQ(stats.all().size(), 2u);
+    stats.clear();
+    EXPECT_EQ(stats.value("x"), 0);
+}
+
+TEST(LatencySeriesTest, BasicStatistics)
+{
+    LatencySeries s;
+    for (double v : {4.0, 1.0, 3.0, 2.0})
+        s.addMs(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(LatencySeriesTest, AddSimTime)
+{
+    LatencySeries s;
+    s.add(2_ms);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
+TEST(LatencySeriesTest, Percentiles)
+{
+    LatencySeries s;
+    for (int i = 1; i <= 100; ++i)
+        s.addMs(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+    EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+}
+
+TEST(LatencySeriesTest, PercentileEdgeCases)
+{
+    LatencySeries s;
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0); // empty
+    s.addMs(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 7.0); // single sample
+    EXPECT_DEATH(s.percentile(101), "out of range");
+}
+
+TEST(LatencySeriesTest, Cdf)
+{
+    LatencySeries s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.addMs(v);
+    EXPECT_DOUBLE_EQ(s.cdfAt(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.cdfAt(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.cdfAt(10.0), 1.0);
+}
+
+TEST(TableFormatTest, FmtHelpers)
+{
+    EXPECT_EQ(fmtMs(123.456), "123.5");
+    EXPECT_EQ(fmtMs(12.345), "12.35");
+    EXPECT_EQ(fmtMs(0.97), "0.970");
+    EXPECT_EQ(fmtBytes(512), "512B");
+    EXPECT_EQ(fmtBytes(2048), "2.0KB");
+    EXPECT_EQ(fmtBytes(3.5 * 1024 * 1024), "3.5MB");
+    EXPECT_EQ(fmtSpeedup(35.21), "35.2x");
+}
+
+TEST(TextTableTest, RendersAlignedColumns)
+{
+    TextTable table("Demo");
+    table.setHeader({"name", "ms"});
+    table.addRow({"alpha", "1.0"});
+    table.addSeparator();
+    table.addRow({"b", "20.5"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("20.5"), std::string::npos);
+}
+
+TEST(TextTableTest, ArityMismatchPanics)
+{
+    TextTable table;
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "cells");
+}
+
+TEST(CdfPrintTest, EmitsMonotoneFractions)
+{
+    std::ostringstream os;
+    printCdf(os, "test", {1.0, 2.0, 4.0});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("n=3"), std::string::npos);
+    EXPECT_NE(out.find("1.0000"), std::string::npos);
+}
+
+} // namespace
+} // namespace catalyzer::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for SimTime, VirtualClock and Stopwatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/time.h"
+
+namespace catalyzer::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(SimTimeTest, ConstructionAndConversion)
+{
+    EXPECT_EQ(SimTime::nanoseconds(1500).toNs(), 1500);
+    EXPECT_DOUBLE_EQ(SimTime::microseconds(2.5).toUs(), 2.5);
+    EXPECT_DOUBLE_EQ(SimTime::milliseconds(3.25).toMs(), 3.25);
+    EXPECT_DOUBLE_EQ(SimTime::seconds(0.5).toSec(), 0.5);
+    EXPECT_EQ(SimTime::zero().toNs(), 0);
+}
+
+TEST(SimTimeTest, Literals)
+{
+    EXPECT_EQ((5_us).toNs(), 5000);
+    EXPECT_EQ((1.5_ms).toNs(), 1500000);
+    EXPECT_EQ((2_s).toNs(), 2000000000LL);
+    EXPECT_EQ((100_ns).toNs(), 100);
+}
+
+TEST(SimTimeTest, Arithmetic)
+{
+    const SimTime a = 2_ms;
+    const SimTime b = 500_us;
+    EXPECT_DOUBLE_EQ((a + b).toMs(), 2.5);
+    EXPECT_DOUBLE_EQ((a - b).toMs(), 1.5);
+    EXPECT_DOUBLE_EQ((b * 4).toMs(), 2.0);
+    EXPECT_DOUBLE_EQ((a / 4).toUs(), 500.0);
+    EXPECT_DOUBLE_EQ((a * 0.5).toMs(), 1.0);
+    EXPECT_DOUBLE_EQ((3 * b).toMs(), 1.5);
+}
+
+TEST(SimTimeTest, CompoundAssignment)
+{
+    SimTime t = 1_ms;
+    t += 1_ms;
+    EXPECT_DOUBLE_EQ(t.toMs(), 2.0);
+    t -= 500_us;
+    EXPECT_DOUBLE_EQ(t.toMs(), 1.5);
+}
+
+TEST(SimTimeTest, Comparison)
+{
+    EXPECT_LT(1_us, 1_ms);
+    EXPECT_GT(1_s, 999_ms);
+    EXPECT_EQ(1000_us, 1_ms);
+    EXPECT_LE(SimTime::zero(), 0_ns);
+}
+
+TEST(SimTimeTest, ToStringPicksUnits)
+{
+    EXPECT_EQ((1.369_ms).toString(), "1.369 ms");
+    EXPECT_EQ((970_us).toString(), "970.000 us");
+    EXPECT_EQ((50_ns).toString(), "50 ns");
+    EXPECT_EQ((2_s).toString(), "2.000 s");
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates)
+{
+    VirtualClock clock;
+    EXPECT_EQ(clock.now(), SimTime::zero());
+    clock.advance(3_ms);
+    clock.advance(250_us);
+    EXPECT_DOUBLE_EQ(clock.now().toMs(), 3.25);
+}
+
+TEST(VirtualClockTest, NegativeAdvancePanics)
+{
+    VirtualClock clock;
+    EXPECT_DEATH(clock.advance(SimTime::zero() - 1_ns), "negative span");
+}
+
+TEST(VirtualClockTest, AdvanceParallelDividesAcrossWorkers)
+{
+    VirtualClock clock;
+    // 100 items at 1 us each on 8 workers -> ceil(100/8) = 13 us.
+    clock.advanceParallel(1_us, 100, 8);
+    EXPECT_DOUBLE_EQ(clock.now().toUs(), 13.0);
+}
+
+TEST(VirtualClockTest, AdvanceParallelEdgeCases)
+{
+    VirtualClock clock;
+    clock.advanceParallel(1_us, 0, 8); // no items, no time
+    EXPECT_EQ(clock.now(), SimTime::zero());
+    clock.advanceParallel(1_us, 5, 0); // worker floor of 1
+    EXPECT_DOUBLE_EQ(clock.now().toUs(), 5.0);
+}
+
+TEST(StopwatchTest, MeasuresSpans)
+{
+    VirtualClock clock;
+    Stopwatch watch(clock);
+    clock.advance(2_ms);
+    EXPECT_DOUBLE_EQ(watch.elapsed().toMs(), 2.0);
+    watch.restart();
+    clock.advance(1_ms);
+    EXPECT_DOUBLE_EQ(watch.elapsed().toMs(), 1.0);
+}
+
+TEST(VirtualClockTest, ResetReturnsToZero)
+{
+    VirtualClock clock;
+    clock.advance(5_ms);
+    clock.reset();
+    EXPECT_EQ(clock.now(), SimTime::zero());
+}
+
+} // namespace
+} // namespace catalyzer::sim

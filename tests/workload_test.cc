@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the workload driver and keep-alive expiry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/workload.h"
+
+namespace catalyzer::platform {
+namespace {
+
+using sandbox::Machine;
+using namespace sim::time_literals;
+
+TEST(WorkloadSpecTest, ZipfSharesSumToTotal)
+{
+    const auto spec = WorkloadSpec::zipf({"a", "b", "c", "d"}, 100.0);
+    double total = 0.0;
+    for (const auto &entry : spec.mix)
+        total += entry.requestsPerSecond;
+    EXPECT_NEAR(total, 100.0, 1e-9);
+    // Rank 1 gets the biggest share.
+    EXPECT_GT(spec.mix[0].requestsPerSecond,
+              spec.mix[1].requestsPerSecond);
+    EXPECT_GT(spec.mix[2].requestsPerSecond,
+              spec.mix[3].requestsPerSecond);
+}
+
+TEST(WorkloadDriverTest, RunsExpectedRequestCount)
+{
+    Machine machine(42);
+    ServerlessPlatform plat(
+        machine, PlatformConfig{BootStrategy::CatalyzerFork});
+    plat.prepare(apps::appByName("ds-text"));
+
+    WorkloadSpec spec;
+    spec.mix = {WorkloadEntry{"ds-text", 50.0}};
+    spec.durationSec = 4.0;
+    WorkloadDriver driver(plat);
+    const WorkloadReport report = driver.run(spec);
+
+    // Poisson(50/s * 4s) = ~200 requests.
+    EXPECT_NEAR(static_cast<double>(report.requests), 200.0, 60.0);
+    EXPECT_EQ(report.endToEnd.count(), report.requests);
+    EXPECT_EQ(report.boots + report.reuses, report.requests);
+}
+
+TEST(WorkloadDriverTest, ClockAdvancesAtLeastDuration)
+{
+    Machine machine(42);
+    ServerlessPlatform plat(
+        machine, PlatformConfig{BootStrategy::CatalyzerFork});
+    plat.prepare(apps::appByName("ds-text"));
+
+    const auto start = machine.ctx().now();
+    WorkloadSpec spec;
+    spec.mix = {WorkloadEntry{"ds-text", 5.0}};
+    spec.durationSec = 2.0;
+    WorkloadDriver(plat).run(spec);
+    // The machine idled between sparse arrivals: wall time >= ~duration.
+    EXPECT_GT((machine.ctx().now() - start).toSec(), 1.5);
+}
+
+TEST(WorkloadDriverTest, KeepAliveReusesInstances)
+{
+    Machine machine(42);
+    PlatformConfig config;
+    config.strategy = BootStrategy::CatalyzerWarm;
+    config.reuseIdleInstances = true;
+    ServerlessPlatform plat(machine, config);
+    plat.prepare(apps::appByName("ds-text"));
+
+    WorkloadSpec spec;
+    spec.mix = {WorkloadEntry{"ds-text", 100.0}};
+    spec.durationSec = 2.0;
+    const WorkloadReport report = WorkloadDriver(plat).run(spec);
+    // Dense traffic on one function: almost everything is a reuse.
+    EXPECT_GT(report.reuses, report.boots);
+}
+
+TEST(WorkloadDriverTest, TtlExpiresIdleInstances)
+{
+    Machine machine(42);
+    PlatformConfig config;
+    config.strategy = BootStrategy::CatalyzerWarm;
+    config.reuseIdleInstances = true;
+    ServerlessPlatform plat(machine, config);
+    plat.prepare(apps::appByName("ds-text"));
+
+    WorkloadSpec spec;
+    spec.mix = {WorkloadEntry{"ds-text", 2.0}}; // sparse: ~500 ms apart
+    spec.durationSec = 5.0;
+    spec.keepAliveTtl = 100_ms; // far below the inter-arrival gap
+    const WorkloadReport report = WorkloadDriver(plat).run(spec);
+    EXPECT_GT(report.expired, 0u);
+    // Expired instances forced fresh boots.
+    EXPECT_GT(report.boots, 1u);
+}
+
+TEST(PlatformTtlTest, ExpireIdleHonorsAge)
+{
+    Machine machine(42);
+    PlatformConfig config;
+    config.strategy = BootStrategy::CatalyzerWarm;
+    config.reuseIdleInstances = true;
+    ServerlessPlatform plat(machine, config);
+    plat.prepare(apps::appByName("ds-text"));
+    plat.invoke("ds-text");
+    EXPECT_EQ(plat.idleCount(), 1u);
+
+    // Young instance survives.
+    EXPECT_EQ(plat.expireIdle(10_s), 0u);
+    machine.ctx().clock().advance(20_s);
+    EXPECT_EQ(plat.expireIdle(10_s), 1u);
+    EXPECT_EQ(plat.idleCount(), 0u);
+}
+
+TEST(WorkloadDriverTest, EmptyMixIsFatal)
+{
+    Machine machine(42);
+    ServerlessPlatform plat(machine);
+    WorkloadDriver driver(plat);
+    EXPECT_EXIT(driver.run(WorkloadSpec{}),
+                ::testing::ExitedWithCode(1), "empty mix");
+}
+
+} // namespace
+} // namespace catalyzer::platform
