@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end observability report: boots every sandbox system and every
+ * Catalyzer path with tracing enabled, then exports
+ *
+ *   - trace_report.trace.json    Chrome trace_event JSON (load it in
+ *                                chrome://tracing or ui.perfetto.dev)
+ *   - trace_report.metrics.json  the machine's unified StatRegistry
+ *                                snapshot (counters + p50/p90/p99
+ *                                boot-latency histograms per system)
+ *
+ * and prints the span tree of the first Catalyzer cold boot plus a
+ * boot-latency summary table.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.h"
+#include "catalyzer/runtime.h"
+#include "sandbox/pipelines.h"
+#include "sim/table.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+using namespace catalyzer;
+
+namespace {
+
+constexpr int kRepetitions = 5;
+constexpr const char *kApp = "python-django";
+
+void
+writeFileOrDie(const char *path, void (*emit)(const trace::Tracer &,
+                                              std::ostream &),
+               const trace::Tracer &tracer)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "trace_report: cannot write %s\n", path);
+        std::exit(1);
+    }
+    emit(tracer, os);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("trace_report",
+                  "Boot tracing + metrics across all boot paths "
+                  "(observability layer demo)");
+
+    sandbox::Machine machine(42);
+    sandbox::FunctionRegistry registry(machine);
+    core::CatalyzerRuntime runtime(machine);
+    sandbox::FunctionArtifacts &fn =
+        registry.artifactsFor(apps::appByName(kApp));
+
+    trace::Tracer tracer;
+    const trace::TraceContext root(tracer, machine.ctx().clock());
+
+    //
+    // First: one traced Catalyzer cold boot, and print its span tree
+    // while it is the only content in the buffer.
+    //
+    runtime.bootCold(fn, root);
+    std::printf("Catalyzer cold boot span tree (%s):\n\n", kApp);
+    trace::exportText(tracer, std::cout);
+    std::printf("\n");
+
+    //
+    // Then the rest of the fleet, all into the same trace: the
+    // remaining Catalyzer paths and every fresh-boot sandbox system.
+    //
+    for (int i = 1; i < kRepetitions; ++i)
+        runtime.bootCold(fn, root);
+    for (int i = 0; i < kRepetitions; ++i)
+        runtime.bootWarm(fn, root);
+    runtime.prepareTemplate(fn); // offline
+    for (int i = 0; i < kRepetitions; ++i)
+        runtime.bootFork(fn, root);
+
+    using sandbox::SandboxSystem;
+    for (SandboxSystem system :
+         {SandboxSystem::Docker, SandboxSystem::HyperContainer,
+          SandboxSystem::FireCracker, SandboxSystem::GVisor,
+          SandboxSystem::GVisorPtrace, SandboxSystem::GVisorRestore}) {
+        for (int i = 0; i < kRepetitions; ++i)
+            sandbox::bootSandbox(system, fn, root);
+    }
+
+    //
+    // Boot-latency histogram summary (the same numbers land in
+    // trace_report.metrics.json).
+    //
+    sim::TextTable table("Boot latency histograms (ms, virtual time)");
+    table.setHeader({"system", "boots", "p50", "p90", "p99", "max"});
+    for (const auto &[name, series] :
+         machine.ctx().stats().histograms()) {
+        const std::string prefix = "boot.latency.";
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        table.addRow({name.substr(prefix.size()),
+                      std::to_string(series.count()),
+                      sim::fmtMs(series.percentile(50)),
+                      sim::fmtMs(series.percentile(90)),
+                      sim::fmtMs(series.percentile(99)),
+                      sim::fmtMs(series.max())});
+    }
+    table.print(std::cout);
+    std::printf("\n%zu spans traced across all boots\n\n",
+                tracer.spanCount());
+
+    writeFileOrDie("trace_report.trace.json", trace::exportChromeTrace,
+                   tracer);
+    {
+        std::ofstream os("trace_report.metrics.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write metrics json\n");
+            return 1;
+        }
+        machine.ctx().stats().writeJson(os);
+        std::printf("wrote trace_report.metrics.json\n");
+    }
+
+    bench::footer();
+    return 0;
+}

@@ -25,28 +25,40 @@ CatalyzerRuntime::CatalyzerRuntime(sandbox::Machine &machine,
 }
 
 BootResult
-CatalyzerRuntime::bootCold(FunctionArtifacts &fn)
+CatalyzerRuntime::bootCold(FunctionArtifacts &fn,
+                           trace::TraceContext trace)
 {
-    return bootRestore(fn, /*warm=*/false);
+    BootResult result = bootRestore(fn, /*warm=*/false, trace);
+    machine_.ctx().stats().observe("boot.latency.Catalyzer-cold",
+                                   result.report.total());
+    return result;
 }
 
 BootResult
-CatalyzerRuntime::bootWarm(FunctionArtifacts &fn)
+CatalyzerRuntime::bootWarm(FunctionArtifacts &fn,
+                           trace::TraceContext trace)
 {
     // Warm boot presumes earlier instances: establish the shared base
     // (and the I/O cache) with one offline cold boot if missing.
     if (!fn.sharedBase) {
         // The primer instance is dropped immediately; the Base-EPT and
-        // the I/O cache survive in the artifacts.
+        // the I/O cache survive in the artifacts. It is offline work,
+        // so it stays out of the trace and the latency histograms.
         bootRestore(fn, /*warm=*/false);
     }
-    return bootRestore(fn, /*warm=*/true);
+    BootResult result = bootRestore(fn, /*warm=*/true, trace);
+    machine_.ctx().stats().observe("boot.latency.Catalyzer-warm",
+                                   result.report.total());
+    return result;
 }
 
 std::shared_ptr<snapshot::FuncImage>
-CatalyzerRuntime::acquireImage(FunctionArtifacts &fn)
+CatalyzerRuntime::acquireImage(FunctionArtifacts &fn,
+                               trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
+    trace::ScopedSpan span(trace, "image-acquire");
+    span.attr("remote", options_.remoteImages ? "true" : "false");
     const bool was_built = static_cast<bool>(fn.separatedImage);
     auto image = sandbox::ensureSeparatedImage(fn);
 
@@ -80,16 +92,23 @@ CatalyzerRuntime::acquireImage(FunctionArtifacts &fn)
 }
 
 BootResult
-CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm)
+CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm,
+                              trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
     const auto &costs = ctx.costs();
     const apps::AppProfile &app = fn.app();
 
+    trace::ScopedSpan boot_span(
+        trace, std::string("boot/Catalyzer-") + (warm ? "warm" : "cold"));
+    boot_span.attr("function", app.name);
+    const trace::TraceContext tctx = boot_span.context();
+
     // Offline build / remote fetch / integrity check as configured.
-    auto image = acquireImage(fn);
+    auto image = acquireImage(fn, tctx);
 
     BootResult result;
+    result.report.bindTrace(tctx);
     sim::Stopwatch watch(ctx.clock());
     const std::string tag =
         (warm ? "warm" : "cold") + std::to_string(boot_seq_++);
@@ -101,20 +120,31 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm)
     //
     std::unique_ptr<SandboxInstance> inst;
     if (warm && options_.useZygote) {
-        Zygote z = zygotes_.acquire();
-        inst = std::make_unique<SandboxInstance>(
-            machine_, fn, app.name + "-" + tag, *z.proc,
-            BootKind::WarmRestore);
-        inst->setGuest(std::move(z.guest));
-        result.report.addSandboxStage("zygote-acquire", watch.elapsed());
+        {
+            trace::ScopedSpan span(tctx, "sandbox-acquire");
+            span.attr("mechanism", "zygote");
+            Zygote z = zygotes_.acquire(span.context());
+            inst = std::make_unique<SandboxInstance>(
+                machine_, fn, app.name + "-" + tag, *z.proc,
+                BootKind::WarmRestore);
+            inst->setGuest(std::move(z.guest));
+        }
+        result.report.addSandboxStage("zygote-acquire", watch.elapsed(),
+                                      /*emit_span=*/false);
     } else {
-        ctx.charge(costs.parseConfig);
-        inst = sandbox::makeBareInstance(
-            fn, warm ? BootKind::WarmRestore : BootKind::ColdRestore,
-            tag.c_str());
-        sandbox::constructGVisorSandbox(*inst, ZygotePool::kvmConfig());
+        {
+            trace::ScopedSpan span(tctx, "sandbox-acquire");
+            span.attr("mechanism", "construct");
+            ctx.charge(costs.parseConfig);
+            inst = sandbox::makeBareInstance(
+                fn, warm ? BootKind::WarmRestore : BootKind::ColdRestore,
+                tag.c_str());
+            sandbox::constructGVisorSandbox(*inst, ZygotePool::kvmConfig(),
+                                            span.context());
+        }
         result.report.addSandboxStage("construct-sandbox",
-                                      watch.elapsed());
+                                      watch.elapsed(),
+                                      /*emit_span=*/false);
     }
     watch.restart();
 
@@ -142,15 +172,22 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm)
     // Base-EPT (warm).
     //
     const bool cold_cache = !warm && !fn.firstRestoreDone;
-    if (!fn.sharedBase) {
-        ctx.charge(costs.imageManifestParse);
-        fn.sharedBase = std::make_shared<mem::BaseMapping>(
-            machine_.frames(), image->file(), 0, image->totalPages(),
-            app.name + "-base");
-    } else if (!warm) {
-        ctx.charge(costs.imageManifestParse);
+    mem::PageIndex base_va = 0;
+    {
+        trace::ScopedSpan span(tctx, "overlay-map");
+        span.attr("mechanism", warm ? "share-base-ept" : "map-image");
+        span.attr("image_pages",
+                  static_cast<std::int64_t>(image->totalPages()));
+        if (!fn.sharedBase) {
+            ctx.charge(costs.imageManifestParse);
+            fn.sharedBase = std::make_shared<mem::BaseMapping>(
+                machine_.frames(), image->file(), 0, image->totalPages(),
+                app.name + "-base");
+        } else if (!warm) {
+            ctx.charge(costs.imageManifestParse);
+        }
+        base_va = inst->space().attachBase(fn.sharedBase);
     }
-    const mem::PageIndex base_va = inst->space().attachBase(fn.sharedBase);
     const mem::PageIndex heap_va = base_va + image->memorySectionStart();
     const std::size_t heap_pages = image->state().memoryPages;
     if (!options_.overlayMemory) {
@@ -159,86 +196,113 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm)
                                  cold_cache);
     }
     result.report.addAppStage(warm ? "share-mapping" : "map-image",
-                              watch.elapsed());
+                              watch.elapsed(), /*emit_span=*/false);
     watch.restart();
 
     //
     // Separated state recovery: stage-1 map + stage-2 parallel fix-up,
     // then establish non-I/O kernel state.
     //
-    objgraph::ObjectGraph graph = options_.separatedState
-        ? image->separated().reconstruct()
-        : [&] {
-              // Ablation: one-by-one deserialization on the path.
-              const auto n = static_cast<std::int64_t>(
-                  image->separated().objectCount());
-              ctx.chargeCounted("restore.deserialized_objects",
-                                costs.deserializeObject * n, n);
-              return image->separated().reconstruct();
-          }();
-    const auto nobjects = static_cast<std::int64_t>(graph.objectCount());
-    if (options_.separatedState) {
-        const auto nrelocs =
-            static_cast<std::int64_t>(image->separated().relocCount());
-        ctx.chargeParallel(costs.relationFixupPerPointer, nrelocs);
-        ctx.stats().incr("catalyzer.pointer_fixups", nrelocs);
-        // Stage-2 dirties the pointer-bearing arena pages: real COW
-        // faults against the shared image mapping (Table 3's cost).
-        const mem::PageIndex arena_va =
-            base_va + image->metadataSectionStart();
-        for (std::uint64_t rel : image->separated().pointerPageList())
-            inst->space().touch(arena_va + rel, /*write=*/true,
-                                cold_cache);
-        ctx.chargeParallel(costs.redoObject, nobjects);
-        ctx.charge(costs.redoObjectSequentialPart * nobjects);
-    } else {
-        ctx.charge((costs.redoObject + costs.redoObjectSequentialPart) *
-                   nobjects);
+    {
+        trace::ScopedSpan span(tctx, "separated-state-fixup");
+        span.attr("separated",
+                  options_.separatedState ? "true" : "false");
+        span.attr("objects", static_cast<std::int64_t>(
+                                 image->separated().objectCount()));
+        span.attr("relocs", static_cast<std::int64_t>(
+                                image->separated().relocCount()));
+        const trace::TraceContext fctx = span.context();
+        objgraph::ObjectGraph graph = options_.separatedState
+            ? image->separated().reconstruct(fctx)
+            : [&] {
+                  // Ablation: one-by-one deserialization on the path.
+                  const auto n = static_cast<std::int64_t>(
+                      image->separated().objectCount());
+                  ctx.chargeCounted("restore.deserialized_objects",
+                                    costs.deserializeObject * n, n);
+                  return image->separated().reconstruct(fctx);
+              }();
+        const auto nobjects =
+            static_cast<std::int64_t>(graph.objectCount());
+        if (options_.separatedState) {
+            const auto nrelocs = static_cast<std::int64_t>(
+                image->separated().relocCount());
+            ctx.chargeParallel(costs.relationFixupPerPointer, nrelocs);
+            ctx.stats().incr("catalyzer.pointer_fixups", nrelocs);
+            // Stage-2 dirties the pointer-bearing arena pages: real COW
+            // faults against the shared image mapping (Table 3's cost).
+            const mem::PageIndex arena_va =
+                base_va + image->metadataSectionStart();
+            for (std::uint64_t rel :
+                 image->separated().pointerPageList())
+                inst->space().touch(arena_va + rel, /*write=*/true,
+                                    cold_cache);
+            ctx.chargeParallel(costs.redoObject, nobjects);
+            ctx.charge(costs.redoObjectSequentialPart * nobjects);
+        } else {
+            ctx.charge((costs.redoObject +
+                        costs.redoObjectSequentialPart) *
+                       nobjects);
+        }
+        inst->guest().setState(std::move(graph));
+        for (int i = 0; i < app.blockingThreads; ++i)
+            inst->guest().threads().addBlockingThread();
     }
-    inst->guest().setState(std::move(graph));
-    for (int i = 0; i < app.blockingThreads; ++i)
-        inst->guest().threads().addBlockingThread();
-    result.report.addAppStage("recover-kernel", watch.elapsed());
+    result.report.addAppStage("recover-kernel", watch.elapsed(),
+                              /*emit_span=*/false);
     watch.restart();
 
     //
     // I/O: copy the checkpointed connection table; reconnect lazily
     // (guided by the I/O cache on warm boots) or eagerly (ablation).
     //
-    for (const vfs::IoConnection &saved : image->ioTable()) {
-        const std::uint64_t id = inst->guest().io().add(
-            saved.kind, saved.path, saved.usedAtStartup,
-            saved.usedByRequests);
-        inst->guest().io().find(id)->established = false;
-    }
-    if (!options_.lazyIoReconnection) {
-        for (auto &conn : inst->guest().io().all())
-            snapshot::reconnectConnection(ctx, conn, &fn.fsServer());
-    } else {
-        // Deferring is not free: each fd is tagged not-reopened and the
-        // async re-establishment is queued.
-        ctx.charge(costs.ioLazyMarkPerConn *
-                   static_cast<std::int64_t>(inst->guest().io().count()));
-        if (warm && !fn.ioCache.empty()) {
-            // The cache tells us which connections the function uses
-            // right after boot; re-establish exactly those on the path.
-            for (auto &conn : inst->guest().io().all()) {
-                if (conn.usedAtStartup)
-                    snapshot::reconnectConnection(ctx, conn,
-                                                  &fn.fsServer());
+    {
+        trace::ScopedSpan span(tctx, "io-reconnect");
+        span.attr("lazy",
+                  options_.lazyIoReconnection ? "true" : "false");
+        span.attr("connections",
+                  static_cast<std::int64_t>(image->ioTable().size()));
+        const trace::TraceContext ictx = span.context();
+        for (const vfs::IoConnection &saved : image->ioTable()) {
+            const std::uint64_t id = inst->guest().io().add(
+                saved.kind, saved.path, saved.usedAtStartup,
+                saved.usedByRequests);
+            inst->guest().io().find(id)->established = false;
+        }
+        if (!options_.lazyIoReconnection) {
+            for (auto &conn : inst->guest().io().all())
+                snapshot::reconnectConnection(ctx, conn, &fn.fsServer(),
+                                              ictx);
+        } else {
+            // Deferring is not free: each fd is tagged not-reopened and
+            // the async re-establishment is queued.
+            ctx.charge(costs.ioLazyMarkPerConn *
+                       static_cast<std::int64_t>(
+                           inst->guest().io().count()));
+            if (warm && !fn.ioCache.empty()) {
+                // The cache tells us which connections the function
+                // uses right after boot; re-establish exactly those on
+                // the path.
+                for (auto &conn : inst->guest().io().all()) {
+                    if (conn.usedAtStartup)
+                        snapshot::reconnectConnection(
+                            ctx, conn, &fn.fsServer(), ictx);
+                }
+                span.attr("cache_hit", "true");
+                ctx.stats().incr("catalyzer.io_cache_hits");
             }
-            ctx.stats().incr("catalyzer.io_cache_hits");
         }
-    }
-    if (!warm && options_.lazyIoReconnection && fn.ioCache.empty()) {
-        // First cold boot records the deterministic startup set.
-        for (const auto &conn : inst->guest().io().all()) {
-            if (conn.usedAtStartup)
-                fn.ioCache.push_back(conn);
+        if (!warm && options_.lazyIoReconnection && fn.ioCache.empty()) {
+            // First cold boot records the deterministic startup set.
+            for (const auto &conn : inst->guest().io().all()) {
+                if (conn.usedAtStartup)
+                    fn.ioCache.push_back(conn);
+            }
         }
+        inst->guest().syncFdTable();
     }
-    inst->guest().syncFdTable();
-    result.report.addAppStage("reconnect-io", watch.elapsed());
+    result.report.addAppStage("reconnect-io", watch.elapsed(),
+                              /*emit_span=*/false);
 
     inst->setMemoryLayout(binary_va, heap_va, heap_pages,
                           /*heap_on_base=*/true);
@@ -250,13 +314,17 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm)
     fn.firstRestoreDone = true;
     ctx.stats().incr(warm ? "catalyzer.warm_boots"
                           : "catalyzer.cold_boots");
+    sim::debugLog("boot Catalyzer-%s/%s: %.3f ms",
+                  warm ? "warm" : "cold", app.name.c_str(),
+                  result.report.total().toMs());
     result.instance = std::move(inst);
     return result;
 }
 
 std::unique_ptr<SandboxInstance>
 CatalyzerRuntime::sforkFrom(SandboxInstance &tmpl, FunctionArtifacts &fn,
-                            BootReport &report, const char *tag)
+                            BootReport &report, const char *tag,
+                            trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
     const auto &costs = ctx.costs();
@@ -265,13 +333,22 @@ CatalyzerRuntime::sforkFrom(SandboxInstance &tmpl, FunctionArtifacts &fn,
     hostos::SforkOptions opts;
     opts.childName = fn.app().name + "-" + tag;
     opts.rerandomizeAslr = options_.aslrRerandomizeOnSfork;
-    hostos::HostProcess &child =
-        machine_.host().sfork(tmpl.proc(), opts);
-    report.addSandboxStage("sfork", watch.elapsed());
+    std::unique_ptr<SandboxInstance> inst;
+    {
+        trace::ScopedSpan span(trace, "sfork");
+        span.attr("template", tmpl.name());
+        span.attr("rerandomize_aslr",
+                  opts.rerandomizeAslr ? "true" : "false");
+        hostos::HostProcess &child =
+            machine_.host().sfork(tmpl.proc(), opts);
+        inst = std::make_unique<SandboxInstance>(
+            machine_, fn, opts.childName, child, BootKind::ForkBoot);
+    }
+    report.addSandboxStage("sfork", watch.elapsed(),
+                           /*emit_span=*/false);
     watch.restart();
 
-    auto inst = std::make_unique<SandboxInstance>(
-        machine_, fn, opts.childName, child, BootKind::ForkBoot);
+    trace::ScopedSpan expand_span(trace, "expand");
 
     // Guest state: the object graph and fd tables live in COWed memory;
     // the child re-expands its threads from the saved contexts and fixes
@@ -302,35 +379,49 @@ CatalyzerRuntime::sforkFrom(SandboxInstance &tmpl, FunctionArtifacts &fn,
                           tmpl.heapOnBase());
     inst->setPrepFraction(tmpl.prepFraction());
     inst->proc().setThreadCount(inst->guest().threads().totalThreads());
-    report.addSandboxStage("expand", watch.elapsed());
+    report.addSandboxStage("expand", watch.elapsed(),
+                           /*emit_span=*/false);
     ctx.stats().incr("catalyzer.fork_boots");
     return inst;
 }
 
 BootResult
-CatalyzerRuntime::bootFork(FunctionArtifacts &fn)
+CatalyzerRuntime::bootFork(FunctionArtifacts &fn,
+                           trace::TraceContext trace)
 {
     SandboxInstance &tmpl = ensureTemplate(fn); // offline
+    trace::ScopedSpan boot_span(trace, "boot/Catalyzer-sfork");
+    boot_span.attr("function", fn.app().name);
     BootResult result;
+    result.report.bindTrace(boot_span.context());
     result.instance = sforkFrom(
         tmpl, fn, result.report,
-        ("fork" + std::to_string(boot_seq_++)).c_str());
+        ("fork" + std::to_string(boot_seq_++)).c_str(),
+        boot_span.context());
     result.instance->setBootLatency(result.report.total());
+    machine_.ctx().stats().observe("boot.latency.Catalyzer-sfork",
+                                   result.report.total());
     return result;
 }
 
 BootResult
-CatalyzerRuntime::bootFromLanguageTemplate(FunctionArtifacts &fn)
+CatalyzerRuntime::bootFromLanguageTemplate(FunctionArtifacts &fn,
+                                           trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
     const auto &costs = ctx.costs();
     const apps::AppProfile &app = fn.app();
     SandboxInstance &tmpl = ensureLanguageTemplate(app.language);
 
+    trace::ScopedSpan boot_span(trace, "boot/Catalyzer-lang-template");
+    boot_span.attr("function", app.name);
+    boot_span.attr("language", apps::languageName(app.language));
     BootResult result;
+    result.report.bindTrace(boot_span.context());
     result.instance = sforkFrom(
         tmpl, fn, result.report,
-        ("lang" + std::to_string(boot_seq_++)).c_str());
+        ("lang" + std::to_string(boot_seq_++)).c_str(),
+        boot_span.context());
     SandboxInstance &inst = *result.instance;
     sim::Stopwatch watch(ctx.clock());
 
@@ -387,6 +478,8 @@ CatalyzerRuntime::bootFromLanguageTemplate(FunctionArtifacts &fn)
     result.report.addAppStage("load-function", watch.elapsed());
 
     inst.setBootLatency(result.report.total());
+    ctx.stats().observe("boot.latency.Catalyzer-lang-template",
+                        result.report.total());
     ctx.stats().incr("catalyzer.lang_template_boots");
     return result;
 }

@@ -59,21 +59,33 @@ class CatalyzerRuntime
     explicit CatalyzerRuntime(sandbox::Machine &machine,
                               CatalyzerOptions options = {});
 
-    /** Cold boot: full on-demand restore, sandbox built on the path. */
-    sandbox::BootResult bootCold(sandbox::FunctionArtifacts &fn);
+    /**
+     * Cold boot: full on-demand restore, sandbox built on the path.
+     *
+     * All boot paths accept a TraceContext; when enabled, the boot
+     * emits a "boot/Catalyzer-*" span tree covering every stage down
+     * to function entry (overlay-map, separated-state-fixup,
+     * io-reconnect, ...), and the boot latency is observed into the
+     * machine's "boot.latency.Catalyzer-*" histogram either way.
+     */
+    sandbox::BootResult bootCold(sandbox::FunctionArtifacts &fn,
+                                 trace::TraceContext trace = {});
 
     /** Warm boot: Zygote + shared Base-EPT + I/O cache. */
-    sandbox::BootResult bootWarm(sandbox::FunctionArtifacts &fn);
+    sandbox::BootResult bootWarm(sandbox::FunctionArtifacts &fn,
+                                 trace::TraceContext trace = {});
 
     /** Fork boot: sfork from the function's template sandbox. */
-    sandbox::BootResult bootFork(sandbox::FunctionArtifacts &fn);
+    sandbox::BootResult bootFork(sandbox::FunctionArtifacts &fn,
+                                 trace::TraceContext trace = {});
 
     /**
      * Cold boot via the per-language runtime template (Table 2): sfork
      * the language template, then load the function's own modules.
      */
     sandbox::BootResult
-    bootFromLanguageTemplate(sandbox::FunctionArtifacts &fn);
+    bootFromLanguageTemplate(sandbox::FunctionArtifacts &fn,
+                             trace::TraceContext trace = {});
 
     /** Build the function's template sandbox now (offline). */
     void prepareTemplate(sandbox::FunctionArtifacts &fn);
@@ -111,13 +123,15 @@ class CatalyzerRuntime
 
   private:
     sandbox::BootResult bootRestore(sandbox::FunctionArtifacts &fn,
-                                    bool warm);
+                                    bool warm,
+                                    trace::TraceContext trace = {});
     std::shared_ptr<snapshot::FuncImage>
-    acquireImage(sandbox::FunctionArtifacts &fn);
+    acquireImage(sandbox::FunctionArtifacts &fn,
+                 trace::TraceContext trace = {});
     std::unique_ptr<sandbox::SandboxInstance>
     sforkFrom(sandbox::SandboxInstance &tmpl,
               sandbox::FunctionArtifacts &fn, sandbox::BootReport &report,
-              const char *tag);
+              const char *tag, trace::TraceContext trace = {});
     sandbox::SandboxInstance &ensureTemplate(sandbox::FunctionArtifacts &fn);
     sandbox::SandboxInstance &
     ensureLanguageTemplate(apps::Language lang);

@@ -18,10 +18,12 @@ ZygotePool::kvmConfig()
 }
 
 Zygote
-ZygotePool::build()
+ZygotePool::build(trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
     const auto &costs = ctx.costs();
+
+    trace::ScopedSpan span(trace, "zygote-build");
 
     // Parse the *base* configuration and spawn the sandbox process.
     ctx.charge(costs.parseConfig);
@@ -68,7 +70,7 @@ ZygotePool::replenish()
 }
 
 Zygote
-ZygotePool::acquire()
+ZygotePool::acquire(trace::TraceContext trace)
 {
     if (!pool_.empty()) {
         Zygote z = std::move(pool_.back());
@@ -78,7 +80,7 @@ ZygotePool::acquire()
     }
     ++misses_;
     machine_.ctx().stats().incr("catalyzer.zygote_misses");
-    return build();
+    return build(trace);
 }
 
 } // namespace catalyzer::core

@@ -20,6 +20,7 @@
 #include "hostos/kvm.h"
 #include "hostos/process.h"
 #include "sandbox/machine.h"
+#include "trace/trace.h"
 
 namespace catalyzer::core {
 
@@ -48,8 +49,12 @@ class ZygotePool
      *  replenish target to at least @p n. */
     void prewarm(std::size_t n);
 
-    /** Take a Zygote (cached if available, else built now). */
-    Zygote acquire();
+    /**
+     * Take a Zygote (cached if available, else built now). A cache miss
+     * puts the build on the critical path; with an enabled @p trace the
+     * miss shows up as a "zygote-build" child span.
+     */
+    Zygote acquire(trace::TraceContext trace = {});
 
     /**
      * Background maintenance: rebuild the cache up to the target size.
@@ -66,7 +71,7 @@ class ZygotePool
     std::size_t misses() const { return misses_; }
 
   private:
-    Zygote build();
+    Zygote build(trace::TraceContext trace = {});
 
     sandbox::Machine &machine_;
     std::vector<Zygote> pool_;

@@ -157,13 +157,19 @@ SeparatedImage::build(const ObjectGraph &graph)
 }
 
 ObjectGraph
-SeparatedImage::reconstruct() const
+SeparatedImage::reconstruct(trace::TraceContext trace) const
 {
     //
     // Stage-1: the arena is mapped as-is; we work on a private copy
     // (the COW the overlay memory performs on the dirtied pages).
     //
-    std::vector<std::uint8_t> arena = arena_;
+    std::vector<std::uint8_t> arena;
+    {
+        trace::ScopedSpan span(trace, "arena-map");
+        span.attr("arena_bytes",
+                  static_cast<std::int64_t>(arena_bytes_));
+        arena = arena_;
+    }
 
     //
     // Stage-2: apply the relation table — each entry writes the real
@@ -172,11 +178,20 @@ SeparatedImage::reconstruct() const
     //
     // Targets are written offset+1 so that a pointer to the object at
     // arena offset 0 stays distinguishable from a null slot.
-    for (const Reloc &reloc : relocs_) {
-        if (reloc.slotOffset + kPointerSlotBytes > arena.size())
-            sim::panic("SeparatedImage: slot offset beyond arena");
-        writeU64(arena, reloc.slotOffset, reloc.targetOffset + 1);
+    {
+        trace::ScopedSpan span(trace, "relation-fixup");
+        span.attr("relocs", static_cast<std::int64_t>(relocs_.size()));
+        span.attr("pointer_pages",
+                  static_cast<std::int64_t>(pointerPages()));
+        for (const Reloc &reloc : relocs_) {
+            if (reloc.slotOffset + kPointerSlotBytes > arena.size())
+                sim::panic("SeparatedImage: slot offset beyond arena");
+            writeU64(arena, reloc.slotOffset, reloc.targetOffset + 1);
+        }
     }
+
+    trace::ScopedSpan decode_span(trace, "arena-decode");
+    decode_span.attr("objects", static_cast<std::int64_t>(stored_.size()));
 
     //
     // Decode pass 1: scan the packed objects, collecting headers and

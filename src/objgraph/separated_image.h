@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "objgraph/object_graph.h"
+#include "trace/trace.h"
 
 namespace catalyzer::objgraph {
 
@@ -52,8 +53,13 @@ class SeparatedImage
      * Stage-1 + stage-2: rebuild the full object graph by applying the
      * relation table to the zeroed arena copies. The result is
      * bit-identical to the checkpointed graph.
+     *
+     * With an enabled @p trace, emits "arena-map", "relation-fixup" and
+     * "arena-decode" child spans annotated with object/reloc counts
+     * (the latencies of these passes are charged by the caller, so the
+     * spans mainly carry structure and attribution).
      */
-    ObjectGraph reconstruct() const;
+    ObjectGraph reconstruct(trace::TraceContext trace = {}) const;
 
     std::size_t objectCount() const { return stored_.size(); }
     std::size_t relocCount() const { return relocs_.size(); }

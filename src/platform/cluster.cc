@@ -74,12 +74,18 @@ Cluster::pick(const std::string &function_name)
 }
 
 ClusterInvocation
-Cluster::invoke(const std::string &function_name)
+Cluster::invoke(const std::string &function_name,
+                trace::TraceContext trace)
 {
     const std::size_t target = pick(function_name);
+    trace::ScopedSpan span(trace, "cluster-invoke");
+    span.attr("function", function_name);
+    span.attr("machine", static_cast<std::int64_t>(target));
+    span.attr("policy", placementPolicyName(policy_));
     ClusterInvocation out;
     out.machineIndex = target;
-    out.record = nodes_[target].platform->invoke(function_name);
+    out.record =
+        nodes_[target].platform->invoke(function_name, span.context());
     return out;
 }
 

@@ -66,8 +66,13 @@ class Cluster
     /** Offline preparation on every machine (images/templates). */
     void prepareEverywhere(const apps::AppProfile &app);
 
-    /** Route one request through the scheduler. */
-    ClusterInvocation invoke(const std::string &function_name);
+    /**
+     * Route one request through the scheduler. With an enabled
+     * @p trace, emits a "cluster-invoke" span annotated with the chosen
+     * machine, wrapping the platform's "invoke/<function>" span.
+     */
+    ClusterInvocation invoke(const std::string &function_name,
+                             trace::TraceContext trace = {});
 
     std::size_t machineCount() const { return nodes_.size(); }
     ServerlessPlatform &platform(std::size_t i);

@@ -62,42 +62,51 @@ ServerlessPlatform::prepare(const apps::AppProfile &app)
 }
 
 BootResult
-ServerlessPlatform::bootNew(FunctionArtifacts &fn)
+ServerlessPlatform::bootNew(FunctionArtifacts &fn,
+                            trace::TraceContext trace)
 {
     using sandbox::SandboxSystem;
     switch (config_.strategy) {
       case BootStrategy::Docker:
-        return sandbox::bootSandbox(SandboxSystem::Docker, fn);
+        return sandbox::bootSandbox(SandboxSystem::Docker, fn, trace);
       case BootStrategy::HyperContainer:
-        return sandbox::bootSandbox(SandboxSystem::HyperContainer, fn);
+        return sandbox::bootSandbox(SandboxSystem::HyperContainer, fn,
+                                    trace);
       case BootStrategy::FireCracker:
-        return sandbox::bootSandbox(SandboxSystem::FireCracker, fn);
+        return sandbox::bootSandbox(SandboxSystem::FireCracker, fn,
+                                    trace);
       case BootStrategy::GVisor:
-        return sandbox::bootSandbox(SandboxSystem::GVisor, fn);
+        return sandbox::bootSandbox(SandboxSystem::GVisor, fn, trace);
       case BootStrategy::GVisorRestore:
-        return sandbox::bootSandbox(SandboxSystem::GVisorRestore, fn);
+        return sandbox::bootSandbox(SandboxSystem::GVisorRestore, fn,
+                                    trace);
       case BootStrategy::CatalyzerCold:
-        return runtime_.bootCold(fn);
+        return runtime_.bootCold(fn, trace);
       case BootStrategy::CatalyzerWarm:
-        return runtime_.bootWarm(fn);
+        return runtime_.bootWarm(fn, trace);
       case BootStrategy::CatalyzerFork:
-        return runtime_.bootFork(fn);
+        return runtime_.bootFork(fn, trace);
       case BootStrategy::CatalyzerAuto:
         if (runtime_.templateFor(fn.app().name))
-            return runtime_.bootFork(fn);
+            return runtime_.bootFork(fn, trace);
         if (fn.sharedBase)
-            return runtime_.bootWarm(fn);
-        return runtime_.bootCold(fn);
+            return runtime_.bootWarm(fn, trace);
+        return runtime_.bootCold(fn, trace);
     }
     sim::panic("unreachable boot strategy");
 }
 
 InvocationRecord
-ServerlessPlatform::invoke(const std::string &function_name)
+ServerlessPlatform::invoke(const std::string &function_name,
+                           trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
     FunctionArtifacts &fn =
         registry_.artifactsFor(apps::appByName(function_name));
+
+    trace::ScopedSpan invoke_span(trace, "invoke/" + function_name);
+    invoke_span.attr("strategy", bootStrategyName(config_.strategy));
+    const trace::TraceContext tctx = invoke_span.context();
 
     InvocationRecord record;
     record.function = function_name;
@@ -106,6 +115,7 @@ ServerlessPlatform::invoke(const std::string &function_name)
     sim::Stopwatch watch(ctx.clock());
     ctx.charge(ctx.costs().rpcDelivery);
     record.gatewayLatency = watch.elapsed();
+    tctx.completedSpan("gateway", record.gatewayLatency);
     watch.restart();
 
     // Find or boot an instance.
@@ -118,9 +128,10 @@ ServerlessPlatform::invoke(const std::string &function_name)
         idle.pop_back();
         record.reusedInstance = true;
         record.bootKind = inst->bootKind();
+        invoke_span.attr("reused", "true");
         ctx.stats().incr("platform.instance_reuses");
     } else {
-        BootResult boot = bootNew(fn);
+        BootResult boot = bootNew(fn, tctx);
         inst = std::move(boot.instance);
         record.bootKind = inst->bootKind();
         record.bootLatency = inst->bootLatency();
@@ -128,7 +139,10 @@ ServerlessPlatform::invoke(const std::string &function_name)
     }
 
     // Execute the handler.
-    record.execLatency = inst->invoke();
+    {
+        trace::ScopedSpan exec_span(tctx, "execute");
+        record.execLatency = inst->invoke();
+    }
 
     // Park the instance.
     if (config_.reuseIdleInstances)
@@ -139,6 +153,7 @@ ServerlessPlatform::invoke(const std::string &function_name)
     // else: destroyed here, releasing its memory.
 
     ctx.stats().incr("platform.invocations");
+    ctx.stats().observe("invoke.latency", record.endToEnd());
     // Background maintenance after the request is served: the offline
     // zygote builder keeps the pool at its target size.
     runtime_.zygotes().replenish();

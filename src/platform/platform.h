@@ -82,8 +82,14 @@ class ServerlessPlatform
      */
     void prepare(const apps::AppProfile &app);
 
-    /** Handle one request end to end. */
-    InvocationRecord invoke(const std::string &function_name);
+    /**
+     * Handle one request end to end. With an enabled @p trace, the
+     * request is an "invoke/<function>" span with "gateway", the boot
+     * span tree and "execute" as children, and the end-to-end latency
+     * is observed into the "invoke.latency" histogram either way.
+     */
+    InvocationRecord invoke(const std::string &function_name,
+                            trace::TraceContext trace = {});
 
     /** Live instances of one function (running + idle). */
     std::vector<sandbox::SandboxInstance *>
@@ -110,7 +116,8 @@ class ServerlessPlatform
     const PlatformConfig &config() const { return config_; }
 
   private:
-    sandbox::BootResult bootNew(sandbox::FunctionArtifacts &fn);
+    sandbox::BootResult bootNew(sandbox::FunctionArtifacts &fn,
+                                trace::TraceContext trace = {});
 
     /** A parked keep-alive instance. */
     struct IdleEntry

@@ -1,6 +1,12 @@
 /**
  * @file
  * Boot latency reporting shared by all boot pipelines.
+ *
+ * A BootReport is a flat view over the boot's span tree: when a
+ * TraceContext is bound, every recorded stage is also emitted as a
+ * completed child span (covering the just-elapsed interval), so one
+ * traced invocation yields both the per-stage totals the benches
+ * consume and a Chrome-loadable trace.
  */
 
 #ifndef CATALYZER_SANDBOX_BOOT_REPORT_H
@@ -11,6 +17,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace catalyzer::sandbox {
 
@@ -22,18 +29,36 @@ namespace catalyzer::sandbox {
 class BootReport
 {
   public:
-    /** Record a sandbox-side stage. */
+    /**
+     * Emit every subsequently recorded stage as a span under the
+     * context's parent. Pass a disabled context to unbind (e.g. when a
+     * callee emits richer spans for the stages it fills in).
+     */
+    void bindTrace(trace::TraceContext trace) { trace_ = trace; }
+
+    const trace::TraceContext &trace() const { return trace_; }
+
+    /**
+     * Record a sandbox-side stage. Pass emit_span = false when the
+     * caller already wrapped the stage in a richer explicit span (the
+     * flat total is still recorded either way).
+     */
     void
-    addSandboxStage(std::string name, sim::SimTime t)
+    addSandboxStage(std::string name, sim::SimTime t,
+                    bool emit_span = true)
     {
+        if (emit_span)
+            emitSpan(name, t, /*sandbox=*/true);
         stages_.emplace_back(std::move(name), t);
         sandbox_ += t;
     }
 
     /** Record an application-side stage. */
     void
-    addAppStage(std::string name, sim::SimTime t)
+    addAppStage(std::string name, sim::SimTime t, bool emit_span = true)
     {
+        if (emit_span)
+            emitSpan(name, t, /*sandbox=*/false);
         stages_.emplace_back(std::move(name), t);
         app_ += t;
     }
@@ -49,9 +74,20 @@ class BootReport
     }
 
   private:
+    void
+    emitSpan(const std::string &name, sim::SimTime t, bool sandbox)
+    {
+        if (!trace_.enabled())
+            return;
+        const trace::SpanId id = trace_.completedSpan(name, t);
+        trace_.tracer()->attribute(id, "phase",
+                                   sandbox ? "sandbox-init" : "app-init");
+    }
+
     std::vector<std::pair<std::string, sim::SimTime>> stages_;
     sim::SimTime sandbox_;
     sim::SimTime app_;
+    trace::TraceContext trace_;
 };
 
 } // namespace catalyzer::sandbox

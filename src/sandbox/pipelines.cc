@@ -40,18 +40,24 @@ makeBareInstance(FunctionArtifacts &fn, BootKind kind, const char *tag)
 
 void
 constructGVisorSandbox(SandboxInstance &inst,
-                       const hostos::KvmConfig &kvm_config)
+                       const hostos::KvmConfig &kvm_config,
+                       trace::TraceContext trace)
 {
     Machine &m = inst.machine();
     auto &ctx = m.ctx();
     const auto &costs = ctx.costs();
 
-    hostos::KvmVm vm(ctx, kvm_config);
-    vm.createVm();
-    for (int i = 0; i < 4; ++i)
-        vm.createVcpu();
-    vm.setUserMemoryRegions(costs.kvmMemoryRegions);
+    {
+        trace::ScopedSpan kvm_span(trace, "kvm-setup");
+        kvm_span.attr("pml", kvm_config.pmlEnabled ? "on" : "off");
+        hostos::KvmVm vm(ctx, kvm_config);
+        vm.createVm();
+        for (int i = 0; i < 4; ++i)
+            vm.createVcpu();
+        vm.setUserMemoryRegions(costs.kvmMemoryRegions);
+    }
 
+    trace::ScopedSpan sentry_span(trace, "sentry-init");
     inst.guest().initializeFresh();
     inst.guest().mountRootfs(costs.guestMounts);
     inst.guest().startGoRuntime();
@@ -158,12 +164,18 @@ namespace {
 
 /** Boot pipelines for the fresh-boot systems. */
 BootResult
-bootFresh(SandboxSystem system, FunctionArtifacts &fn)
+bootFresh(SandboxSystem system, FunctionArtifacts &fn,
+          trace::TraceContext trace)
 {
     Machine &m = fn.machine();
     auto &ctx = m.ctx();
     const auto &costs = ctx.costs();
     BootResult result;
+    trace::ScopedSpan boot_span(
+        trace, std::string("boot/") + sandboxSystemName(system));
+    boot_span.attr("function", fn.app().name);
+    const trace::TraceContext tctx = boot_span.context();
+    result.report.bindTrace(tctx);
     sim::Stopwatch watch(ctx.clock());
 
     double app_factor = 1.0;
@@ -222,9 +234,14 @@ bootFresh(SandboxSystem system, FunctionArtifacts &fn)
         result.report.addSandboxStage("boot-sandbox-process",
                                       watch.elapsed());
         watch.restart();
-        constructGVisorSandbox(*inst, hostos::KvmConfig{});
+        {
+            trace::ScopedSpan create_span(tctx, "create-kernel-platform");
+            constructGVisorSandbox(*inst, hostos::KvmConfig{},
+                                   create_span.context());
+        }
         result.report.addSandboxStage("create-kernel-platform",
-                                      watch.elapsed());
+                                      watch.elapsed(),
+                                      /*emit_span=*/false);
         watch.restart();
         ctx.charge(costs.gvisorRuncMisc);
         result.report.addSandboxStage("runc-misc", watch.elapsed());
@@ -262,13 +279,20 @@ bootFresh(SandboxSystem system, FunctionArtifacts &fn)
         sim::panic("bootFresh called for GVisorRestore");
     }
 
-    runApplicationInit(*result.instance, result.report, app_factor);
+    {
+        trace::ScopedSpan app_span(tctx, "application-init");
+        BootReport &report = result.report;
+        const trace::TraceContext outer = report.trace();
+        report.bindTrace(app_span.context());
+        runApplicationInit(*result.instance, report, app_factor);
+        report.bindTrace(outer);
+    }
     result.instance->setBootLatency(result.report.total());
     return result;
 }
 
 BootResult
-bootGVisorRestoreImpl(FunctionArtifacts &fn)
+bootGVisorRestoreImpl(FunctionArtifacts &fn, trace::TraceContext trace)
 {
     Machine &m = fn.machine();
     auto &ctx = m.ctx();
@@ -278,6 +302,10 @@ bootGVisorRestoreImpl(FunctionArtifacts &fn)
     auto image = ensureProtoImage(fn);
 
     BootResult result;
+    trace::ScopedSpan boot_span(trace, "boot/gVisor-restore");
+    boot_span.attr("function", fn.app().name);
+    const trace::TraceContext tctx = boot_span.context();
+    result.report.bindTrace(tctx);
     sim::Stopwatch watch(ctx.clock());
 
     ctx.charge(costs.parseConfig);
@@ -286,20 +314,28 @@ bootGVisorRestoreImpl(FunctionArtifacts &fn)
     auto inst = makeBareInstance(fn, BootKind::ColdRestore, "gvr");
     result.report.addSandboxStage("boot-sandbox-process", watch.elapsed());
     watch.restart();
-    constructGVisorSandbox(*inst, hostos::KvmConfig{});
+    {
+        trace::ScopedSpan create_span(tctx, "create-kernel-platform");
+        constructGVisorSandbox(*inst, hostos::KvmConfig{},
+                               create_span.context());
+    }
     result.report.addSandboxStage("create-kernel-platform",
-                                  watch.elapsed());
+                                  watch.elapsed(), /*emit_span=*/false);
     watch.restart();
     ctx.charge(costs.gvisorRuncMisc);
     result.report.addSandboxStage("runc-misc", watch.elapsed());
 
+    // The restore engine emits its own (richer) spans for these stages.
     snapshot::EagerRestoreEngine engine(ctx);
     snapshot::RestoreBreakdown breakdown = engine.restore(
-        *image, inst->guest(), inst->space(), &fn.fsServer());
-    result.report.addAppStage("restore-app-memory", breakdown.appMemory);
-    result.report.addAppStage("restore-kernel", breakdown.kernelMeta);
+        *image, inst->guest(), inst->space(), &fn.fsServer(), tctx);
+    result.report.addAppStage("restore-app-memory", breakdown.appMemory,
+                              /*emit_span=*/false);
+    result.report.addAppStage("restore-kernel", breakdown.kernelMeta,
+                              /*emit_span=*/false);
     result.report.addAppStage("restore-reconnect-io",
-                              breakdown.ioReconnect);
+                              breakdown.ioReconnect,
+                              /*emit_span=*/false);
 
     inst->setMemoryLayout(0, breakdown.heapVa,
                           image->state().memoryPages,
@@ -313,11 +349,18 @@ bootGVisorRestoreImpl(FunctionArtifacts &fn)
 } // namespace
 
 BootResult
-bootSandbox(SandboxSystem system, FunctionArtifacts &fn)
+bootSandbox(SandboxSystem system, FunctionArtifacts &fn,
+            trace::TraceContext trace)
 {
-    if (system == SandboxSystem::GVisorRestore)
-        return bootGVisorRestoreImpl(fn);
-    return bootFresh(system, fn);
+    BootResult result = system == SandboxSystem::GVisorRestore
+                            ? bootGVisorRestoreImpl(fn, trace)
+                            : bootFresh(system, fn, trace);
+    fn.machine().ctx().stats().observe(
+        std::string("boot.latency.") + sandboxSystemName(system),
+        result.report.total());
+    sim::debugLog("boot %s/%s: %.3f ms", sandboxSystemName(system),
+                  fn.app().name.c_str(), result.report.total().toMs());
+    return result;
 }
 
 std::shared_ptr<snapshot::FuncImage>

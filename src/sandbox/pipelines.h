@@ -17,6 +17,7 @@
 #include "sandbox/boot_report.h"
 #include "sandbox/function_artifacts.h"
 #include "sandbox/instance.h"
+#include "trace/trace.h"
 
 namespace catalyzer::sandbox {
 
@@ -47,8 +48,13 @@ struct BootResult
  * func-image is built offline on first use (including one throwaway
  * fresh boot to capture the state); that preparation is not part of the
  * report.
+ *
+ * With an enabled @p trace the boot emits a "boot/<system>" span with
+ * one child span per report stage, and the boot latency is observed
+ * into the machine's "boot.latency.<system>" histogram either way.
  */
-BootResult bootSandbox(SandboxSystem system, FunctionArtifacts &fn);
+BootResult bootSandbox(SandboxSystem system, FunctionArtifacts &fn,
+                       trace::TraceContext trace = {});
 
 /**
  * Shared application-initialization phase: map and fault the binary,
@@ -84,10 +90,12 @@ makeBareInstance(FunctionArtifacts &fn, BootKind kind, const char *tag);
  * gVisor's "create and initialize kernel/platform" step: KVM VM + VCPUs
  * + memory regions, Sentry structures, guest mounts and the Go runtime.
  * Exposed so Catalyzer's Zygote construction can reuse it with its own
- * KVM configuration (PML off, kvcalloc cache on).
+ * KVM configuration (PML off, kvcalloc cache on). Emits "kvm-setup" and
+ * "sentry-init" child spans under @p trace.
  */
 void constructGVisorSandbox(SandboxInstance &inst,
-                            const hostos::KvmConfig &kvm_config);
+                            const hostos::KvmConfig &kvm_config,
+                            trace::TraceContext trace = {});
 
 } // namespace catalyzer::sandbox
 

@@ -1,12 +1,21 @@
 #include "sim/logging.h"
 
+#include <cctype>
 #include <cstdio>
 
 namespace catalyzer::sim {
 
 namespace {
 
-LogLevel global_level = LogLevel::Warn;
+/** Startup verbosity: the environment override, else Warn. */
+LogLevel
+initialLogLevel()
+{
+    return parseLogLevel(std::getenv("CATALYZER_LOG_LEVEL"),
+                         LogLevel::Warn);
+}
+
+LogLevel global_level = initialLogLevel();
 
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)
@@ -17,6 +26,26 @@ vreport(const char *tag, const char *fmt, std::va_list ap)
 }
 
 } // namespace
+
+LogLevel
+parseLogLevel(const char *text, LogLevel fallback)
+{
+    if (text == nullptr)
+        return fallback;
+    std::string lower;
+    for (const char *p = text; *p != '\0'; ++p)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (lower == "silent" || lower == "0")
+        return LogLevel::Silent;
+    if (lower == "warn" || lower == "1")
+        return LogLevel::Warn;
+    if (lower == "inform" || lower == "2")
+        return LogLevel::Inform;
+    if (lower == "debug" || lower == "3")
+        return LogLevel::Debug;
+    return fallback;
+}
 
 void
 setLogLevel(LogLevel level)

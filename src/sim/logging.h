@@ -19,7 +19,18 @@ namespace catalyzer::sim {
 /** Verbosity levels for runtime messages. */
 enum class LogLevel { Silent, Warn, Inform, Debug };
 
-/** Set the global verbosity; defaults to Warn (tests stay quiet). */
+/**
+ * Parse a verbosity name: "silent"/"warn"/"inform"/"debug"
+ * (case-insensitive) or the numeric levels "0".."3". Returns
+ * @p fallback for null or unrecognized input.
+ */
+LogLevel parseLogLevel(const char *text, LogLevel fallback);
+
+/**
+ * Set the global verbosity; defaults to Warn (tests stay quiet). The
+ * CATALYZER_LOG_LEVEL environment variable overrides the default at
+ * startup; an explicit setLogLevel() call wins over the environment.
+ */
 void setLogLevel(LogLevel level);
 
 /** Current global verbosity. */

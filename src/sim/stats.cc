@@ -1,11 +1,20 @@
 #include "sim/stats.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <ostream>
 
 #include "sim/logging.h"
 
 namespace catalyzer::sim {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+} // namespace
 
 void
 StatRegistry::incr(const std::string &name, std::int64_t delta)
@@ -21,16 +30,98 @@ StatRegistry::value(const std::string &name) const
 }
 
 void
+StatRegistry::observe(const std::string &name, SimTime t)
+{
+    series_[name].add(t);
+}
+
+void
+StatRegistry::observeMs(const std::string &name, double ms)
+{
+    series_[name].addMs(ms);
+}
+
+LatencySeries &
+StatRegistry::histogram(const std::string &name)
+{
+    return series_[name];
+}
+
+const LatencySeries *
+StatRegistry::findHistogram(const std::string &name) const
+{
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+}
+
+void
 StatRegistry::clear()
 {
     counters_.clear();
+    series_.clear();
+}
+
+namespace {
+
+/** One JSON number; NaN/inf become null (JSON has no non-finite). */
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+StatRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": " << value;
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, series] : series_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": {\"unit\": \"ms\", \"count\": " << series.count();
+        const struct
+        {
+            const char *key;
+            double value;
+        } stats[] = {
+            {"mean", series.mean()},   {"min", series.min()},
+            {"max", series.max()},     {"p50", series.percentile(50)},
+            {"p90", series.percentile(90)},
+            {"p99", series.percentile(99)},
+        };
+        for (const auto &s : stats) {
+            os << ", \"" << s.key << "\": ";
+            writeJsonNumber(os, s.value);
+        }
+        os << "}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+StatRegistry &
+StatRegistry::global()
+{
+    static StatRegistry registry;
+    return registry;
 }
 
 double
 LatencySeries::mean() const
 {
     if (samples_.empty())
-        return 0.0;
+        return kNaN;
     return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
            static_cast<double>(samples_.size());
 }
@@ -39,7 +130,7 @@ double
 LatencySeries::min() const
 {
     if (samples_.empty())
-        return 0.0;
+        return kNaN;
     return *std::min_element(samples_.begin(), samples_.end());
 }
 
@@ -47,17 +138,17 @@ double
 LatencySeries::max() const
 {
     if (samples_.empty())
-        return 0.0;
+        return kNaN;
     return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double
 LatencySeries::percentile(double p) const
 {
-    if (samples_.empty())
-        return 0.0;
     if (p < 0.0 || p > 100.0)
         panic("LatencySeries::percentile: p=%f out of range", p);
+    if (samples_.empty())
+        return kNaN;
     auto s = sorted();
     if (s.size() == 1)
         return s.front();

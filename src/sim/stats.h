@@ -1,12 +1,14 @@
 /**
  * @file
- * Counters and latency series for experiment reporting.
+ * Counters, latency series and the unified metrics registry for
+ * experiment reporting.
  */
 
 #ifndef CATALYZER_SIM_STATS_H
 #define CATALYZER_SIM_STATS_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -16,34 +18,13 @@
 namespace catalyzer::sim {
 
 /**
- * Named monotonically increasing counters (page faults, syscalls redone,
- * objects deserialized, ...). Cheap enough to leave enabled everywhere.
- */
-class StatRegistry
-{
-  public:
-    /** Add @p delta to counter @p name, creating it at zero if needed. */
-    void incr(const std::string &name, std::int64_t delta = 1);
-
-    /** Current value, or zero if never touched. */
-    std::int64_t value(const std::string &name) const;
-
-    /** Reset every counter to zero. */
-    void clear();
-
-    /** Snapshot of all counters, sorted by name. */
-    const std::map<std::string, std::int64_t> &all() const
-    {
-        return counters_;
-    }
-
-  private:
-    std::map<std::string, std::int64_t> counters_;
-};
-
-/**
  * A series of latency samples with percentile and CDF queries.
  * Samples are stored in milliseconds.
+ *
+ * On an empty series the point statistics (mean/min/max/percentile)
+ * return quiet NaN — there is no meaningful value to report, and NaN
+ * propagates visibly instead of faking a 0 ms latency. cdfAt() returns
+ * 0.0 on an empty series (no sample is <= x).
  */
 class LatencySeries
 {
@@ -55,14 +36,20 @@ class LatencySeries
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
+    /** Arithmetic mean; NaN if the series is empty. */
     double mean() const;
+    /** Smallest sample; NaN if the series is empty. */
     double min() const;
+    /** Largest sample; NaN if the series is empty. */
     double max() const;
 
-    /** p in [0, 100]; linear interpolation between order statistics. */
+    /**
+     * p in [0, 100] (out-of-range panics); linear interpolation between
+     * order statistics. NaN if the series is empty.
+     */
     double percentile(double p) const;
 
-    /** Fraction of samples <= x (empirical CDF). */
+    /** Fraction of samples <= x (empirical CDF); 0.0 if empty. */
     double cdfAt(double x) const;
 
     /** Sorted copy of the samples. */
@@ -74,6 +61,67 @@ class LatencySeries
 
   private:
     std::vector<double> samples_;
+};
+
+/**
+ * Unified metrics registry: named monotonically increasing counters
+ * (page faults, syscalls redone, objects deserialized, ...) plus named
+ * histogram metrics backed by LatencySeries (boot latency per system,
+ * end-to-end invocation latency, ...). Cheap enough to leave enabled
+ * everywhere.
+ *
+ * Each SimContext owns one registry (its machine's metrics);
+ * StatRegistry::global() is the process-wide registry for aggregating
+ * across machines or from code with no SimContext at hand.
+ */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if needed. */
+    void incr(const std::string &name, std::int64_t delta = 1);
+
+    /** Current value, or zero if never touched. */
+    std::int64_t value(const std::string &name) const;
+
+    /** Record one sample into histogram @p name, creating it if needed. */
+    void observe(const std::string &name, SimTime t);
+    void observeMs(const std::string &name, double ms);
+
+    /** Get-or-create histogram @p name. */
+    LatencySeries &histogram(const std::string &name);
+
+    /** Look up a histogram; nullptr if never observed. */
+    const LatencySeries *findHistogram(const std::string &name) const;
+
+    /** Reset every counter and histogram. */
+    void clear();
+
+    /** Snapshot of all counters, sorted by name. */
+    const std::map<std::string, std::int64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** All histograms, sorted by name. */
+    const std::map<std::string, LatencySeries> &histograms() const
+    {
+        return series_;
+    }
+
+    /**
+     * JSON snapshot: {"counters": {name: value, ...}, "histograms":
+     * {name: {count, mean, min, max, p50, p90, p99}, ...}} with
+     * histogram samples in milliseconds. Non-finite statistics (empty
+     * histograms) are emitted as null to keep the document valid JSON.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** The process-wide registry. */
+    static StatRegistry &global();
+
+  private:
+    std::map<std::string, std::int64_t> counters_;
+    std::map<std::string, LatencySeries> series_;
 };
 
 } // namespace catalyzer::sim

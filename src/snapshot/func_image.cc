@@ -74,9 +74,13 @@ FuncImage::separated() const
 std::shared_ptr<FuncImage>
 CheckpointEngine::capture(mem::FrameStore &frames,
                           const std::string &function_name,
-                          ImageFormat format, GuestState state)
+                          ImageFormat format, GuestState state,
+                          trace::TraceContext trace)
 {
     const auto &costs = ctx_.costs();
+    trace::ScopedSpan span(trace, "checkpoint-capture");
+    span.attr("function", function_name);
+    span.attr("format", imageFormatName(format));
     const auto nobjects =
         static_cast<std::int64_t>(state.kernelGraph.objectCount());
     const auto npages = static_cast<std::int64_t>(state.memoryPages);

@@ -25,6 +25,7 @@
 #include "objgraph/proto_codec.h"
 #include "objgraph/separated_image.h"
 #include "sim/context.h"
+#include "trace/trace.h"
 #include "vfs/io_connection.h"
 
 namespace catalyzer::snapshot {
@@ -129,11 +130,13 @@ class CheckpointEngine
     /**
      * Capture @p state into an image of @p format. Charges the offline
      * cost to the context (callers bracket online spans separately).
+     * Emits a "checkpoint-capture" span when @p trace is enabled.
      */
     std::shared_ptr<FuncImage> capture(mem::FrameStore &frames,
                                        const std::string &function_name,
                                        ImageFormat format,
-                                       GuestState state);
+                                       GuestState state,
+                                       trace::TraceContext trace = {});
 
   private:
     sim::SimContext &ctx_;

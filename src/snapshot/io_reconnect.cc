@@ -6,12 +6,15 @@ namespace catalyzer::snapshot {
 
 sim::SimTime
 reconnectConnection(sim::SimContext &ctx, vfs::IoConnection &conn,
-                    vfs::FsServer *server)
+                    vfs::FsServer *server, trace::TraceContext trace)
 {
     if (conn.established)
         return sim::SimTime::zero();
     const auto &costs = ctx.costs();
     const sim::SimTime before = ctx.now();
+    trace::ScopedSpan span(
+        trace, std::string("reconnect/") + vfs::connKindName(conn.kind));
+    span.attr("path", conn.path);
 
     ctx.charge(costs.ioReconnectBase);
     switch (conn.kind) {

@@ -7,6 +7,7 @@
 #define CATALYZER_SNAPSHOT_IO_RECONNECT_H
 
 #include "sim/context.h"
+#include "trace/trace.h"
 #include "vfs/fs_server.h"
 #include "vfs/io_connection.h"
 
@@ -15,13 +16,15 @@ namespace catalyzer::snapshot {
 /**
  * Re-establish one checkpointed connection (re-do the open/connect).
  * Files go through the FS server (Gofer RPC + host open + dup); sockets
- * pay the reconnect handshake. Marks the connection established.
+ * pay the reconnect handshake. Marks the connection established. Emits
+ * one "reconnect/<kind>" span when @p trace is enabled.
  *
  * @return the latency charged for this reconnection.
  */
 sim::SimTime reconnectConnection(sim::SimContext &ctx,
                                  vfs::IoConnection &conn,
-                                 vfs::FsServer *server);
+                                 vfs::FsServer *server,
+                                 trace::TraceContext trace = {});
 
 } // namespace catalyzer::snapshot
 

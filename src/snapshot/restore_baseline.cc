@@ -9,7 +9,8 @@ namespace catalyzer::snapshot {
 RestoreBreakdown
 EagerRestoreEngine::restore(FuncImage &image, guest::GuestKernel &guest,
                             mem::AddressSpace &space,
-                            vfs::FsServer *server)
+                            vfs::FsServer *server,
+                            trace::TraceContext trace)
 {
     if (image.format() != ImageFormat::CompressedProto)
         sim::panic("EagerRestoreEngine needs a CompressedProto image");
@@ -23,13 +24,17 @@ EagerRestoreEngine::restore(FuncImage &image, guest::GuestKernel &guest,
     //
     const auto &state = image.state();
     const auto mem_pages = static_cast<std::int64_t>(state.memoryPages);
-    ctx_.chargeCounted("restore.decompressed_pages",
-                       costs.decompressPerPage * mem_pages, mem_pages);
-    const mem::PageIndex heap =
-        space.mapAnon(state.memoryPages, true, "restored-heap");
-    space.touchRange(heap, state.memoryPages, /*write=*/true,
-                     /*cold=*/true);
-    breakdown.heapVa = heap;
+    {
+        trace::ScopedSpan span(trace, "restore-app-memory");
+        span.attr("pages", mem_pages);
+        ctx_.chargeCounted("restore.decompressed_pages",
+                           costs.decompressPerPage * mem_pages, mem_pages);
+        const mem::PageIndex heap =
+            space.mapAnon(state.memoryPages, true, "restored-heap");
+        space.touchRange(heap, state.memoryPages, /*write=*/true,
+                         /*cold=*/true);
+        breakdown.heapVa = heap;
+    }
     breakdown.appMemory = watch.elapsed();
     watch.restart();
 
@@ -37,33 +42,42 @@ EagerRestoreEngine::restore(FuncImage &image, guest::GuestKernel &guest,
     // Recover kernel metadata: deserialize objects one by one, then
     // re-do non-I/O kernel state (thread contexts, timers, mounts...).
     //
-    const auto nobjects =
-        static_cast<std::int64_t>(image.proto().objectCount());
-    ctx_.chargeCounted("restore.deserialized_objects",
-                       costs.deserializeObject * nobjects, nobjects);
-    objgraph::ObjectGraph graph = image.proto().reconstruct();
-    ctx_.chargeCounted("restore.redone_objects",
-                       costs.redoObject * nobjects, nobjects);
-    guest.setState(std::move(graph));
-    if (!guest.threads().started())
-        guest.startGoRuntime();
-    for (int i = 0; i < state.app->blockingThreads; ++i)
-        guest.threads().addBlockingThread();
+    {
+        trace::ScopedSpan span(trace, "restore-kernel");
+        const auto nobjects =
+            static_cast<std::int64_t>(image.proto().objectCount());
+        span.attr("objects", nobjects);
+        ctx_.chargeCounted("restore.deserialized_objects",
+                           costs.deserializeObject * nobjects, nobjects);
+        objgraph::ObjectGraph graph = image.proto().reconstruct();
+        ctx_.chargeCounted("restore.redone_objects",
+                           costs.redoObject * nobjects, nobjects);
+        guest.setState(std::move(graph));
+        if (!guest.threads().started())
+            guest.startGoRuntime();
+        for (int i = 0; i < state.app->blockingThreads; ++i)
+            guest.threads().addBlockingThread();
+    }
     breakdown.kernelMeta = watch.elapsed();
     watch.restart();
 
     //
     // Reconnect every checkpointed I/O connection, eagerly.
     //
-    for (const vfs::IoConnection &saved : image.ioTable()) {
-        const std::uint64_t id = guest.io().add(
-            saved.kind, saved.path, saved.usedAtStartup,
-            saved.usedByRequests);
-        vfs::IoConnection *conn = guest.io().find(id);
-        conn->established = false;
-        reconnectConnection(ctx_, *conn, server);
+    {
+        trace::ScopedSpan span(trace, "restore-reconnect-io");
+        span.attr("connections",
+                  static_cast<std::int64_t>(image.ioTable().size()));
+        for (const vfs::IoConnection &saved : image.ioTable()) {
+            const std::uint64_t id = guest.io().add(
+                saved.kind, saved.path, saved.usedAtStartup,
+                saved.usedByRequests);
+            vfs::IoConnection *conn = guest.io().find(id);
+            conn->established = false;
+            reconnectConnection(ctx_, *conn, server, span.context());
+        }
+        guest.syncFdTable();
     }
-    guest.syncFdTable();
     breakdown.ioReconnect = watch.elapsed();
 
     ctx_.stats().incr("restore.eager_restores");

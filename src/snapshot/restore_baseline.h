@@ -13,6 +13,7 @@
 #include "guest/guest_kernel.h"
 #include "mem/address_space.h"
 #include "snapshot/func_image.h"
+#include "trace/trace.h"
 #include "vfs/fs_server.h"
 
 namespace catalyzer::snapshot {
@@ -44,11 +45,14 @@ class EagerRestoreEngine
     /**
      * Restore @p image into a fresh guest: loads memory into @p space,
      * rebuilds @p guest's object graph and thread census, reconnects all
-     * I/O through @p server.
+     * I/O through @p server. Emits one span per restore phase (with
+     * per-connection children under the reconnect phase) when @p trace
+     * is enabled.
      */
     RestoreBreakdown restore(FuncImage &image, guest::GuestKernel &guest,
                              mem::AddressSpace &space,
-                             vfs::FsServer *server);
+                             vfs::FsServer *server,
+                             trace::TraceContext trace = {});
 
   private:
     sim::SimContext &ctx_;

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace_event JSON (open in chrome://tracing or
+ * https://ui.perfetto.dev) and a hierarchical plain-text dump.
+ */
+
+#ifndef CATALYZER_TRACE_EXPORT_H
+#define CATALYZER_TRACE_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace catalyzer::trace {
+
+/** JSON-escape @p s for use inside a double-quoted string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Write the tracer's spans as a Chrome trace_event JSON object
+ * ({"traceEvents": [...]}): one "ph":"X" complete event per finished
+ * span with ts/dur in virtual microseconds and attributes under "args".
+ * Unfinished spans are exported with zero duration and an
+ * "unfinished":"true" arg so they remain visible.
+ */
+void exportChromeTrace(const Tracer &tracer, std::ostream &os);
+
+/**
+ * Write the span forest as an indented text tree (children ordered by
+ * start time), one line per span: name, start, duration, attributes.
+ */
+void exportText(const Tracer &tracer, std::ostream &os);
+
+} // namespace catalyzer::trace
+
+#endif // CATALYZER_TRACE_EXPORT_H

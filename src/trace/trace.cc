@@ -1,0 +1,112 @@
+#include "trace/trace.h"
+
+namespace catalyzer::trace {
+
+SpanId
+Tracer::begin(std::string name, sim::SimTime start, SpanId parent)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Span span;
+    span.id = next_id_++;
+    span.parent = parent;
+    span.name = std::move(name);
+    span.start = start;
+    spans_.push_back(std::move(span));
+    return spans_.back().id;
+}
+
+void
+Tracer::end(SpanId id, sim::SimTime end)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+        if (it->id != id)
+            continue;
+        if (!it->finished) {
+            it->end = end < it->start ? it->start : end;
+            it->finished = true;
+        }
+        return;
+    }
+}
+
+void
+Tracer::attribute(SpanId id, std::string key, std::string value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+        if (it->id != id)
+            continue;
+        it->attributes.emplace_back(std::move(key), std::move(value));
+        return;
+    }
+}
+
+std::vector<Span>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::size_t
+Tracer::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+}
+
+SpanId
+TraceContext::completedSpan(const std::string &name,
+                            sim::SimTime duration) const
+{
+    if (!enabled())
+        return 0;
+    const sim::SimTime stop = now();
+    const SpanId id = tracer_->begin(name, stop - duration, parent_);
+    tracer_->end(id, stop);
+    return id;
+}
+
+ScopedSpan::ScopedSpan(TraceContext ctx, std::string name) : ctx_(ctx)
+{
+    if (ctx_.enabled())
+        id_ = ctx_.tracer()->begin(std::move(name), ctx_.now(),
+                                   ctx_.parent());
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    finish();
+}
+
+void
+ScopedSpan::attr(const std::string &key, std::string value)
+{
+    if (id_ != 0)
+        ctx_.tracer()->attribute(id_, key, std::move(value));
+}
+
+void
+ScopedSpan::attr(const std::string &key, std::int64_t value)
+{
+    attr(key, std::to_string(value));
+}
+
+void
+ScopedSpan::finish()
+{
+    if (id_ == 0 || finished_)
+        return;
+    finished_ = true;
+    ctx_.tracer()->end(id_, ctx_.now());
+}
+
+} // namespace catalyzer::trace

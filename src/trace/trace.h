@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Span-based tracing on simulated time.
+ *
+ * A Span is a named interval of virtual time with an optional parent and
+ * key/value attributes; a Tracer buffers finished and in-flight spans
+ * thread-safely. TraceContext is the small value handle the boot
+ * pipelines thread from request arrival down to function entry: it names
+ * the tracer, the virtual clock supplying timestamps, and the span that
+ * should adopt whatever the callee records. A default-constructed
+ * TraceContext is disabled and turns every operation into a no-op, so
+ * instrumented code paths cost nothing when nobody is tracing.
+ *
+ * Exporters (Chrome trace_event JSON and a hierarchical text dump) live
+ * in trace/export.h.
+ */
+
+#ifndef CATALYZER_TRACE_TRACE_H
+#define CATALYZER_TRACE_TRACE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/time.h"
+
+namespace catalyzer::trace {
+
+/** Identifier of one span; 0 means "no span" (the forest root). */
+using SpanId = std::uint64_t;
+
+/** One named interval of virtual time. */
+struct Span
+{
+    SpanId id = 0;
+    /** Enclosing span, or 0 for a root. */
+    SpanId parent = 0;
+    std::string name;
+    sim::SimTime start;
+    /** Meaningful only when finished is true. */
+    sim::SimTime end;
+    bool finished = false;
+    std::vector<std::pair<std::string, std::string>> attributes;
+
+    sim::SimTime
+    duration() const
+    {
+        return finished ? end - start : sim::SimTime::zero();
+    }
+};
+
+/**
+ * Buffer of spans for one trace. All members are safe to call from
+ * multiple threads; span ids are handed out monotonically from 1.
+ *
+ * Finish order is unconstrained: a parent may finish before its
+ * children (the child keeps recording into the buffer), and finishing
+ * an already-finished span keeps the first end time.
+ */
+class Tracer
+{
+  public:
+    /** Open a span starting at @p start under @p parent (0 = root). */
+    SpanId begin(std::string name, sim::SimTime start, SpanId parent = 0);
+
+    /** Close a span at @p end. Unknown ids and double-ends are no-ops. */
+    void end(SpanId id, sim::SimTime end);
+
+    /** Attach (append) a key/value attribute to an open or closed span. */
+    void attribute(SpanId id, std::string key, std::string value);
+
+    /** Copy of the buffered spans, in creation (= start-time) order. */
+    std::vector<Span> snapshot() const;
+
+    std::size_t spanCount() const;
+
+    /** Drop all buffered spans; ids keep increasing. */
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<Span> spans_;
+    SpanId next_id_ = 1;
+};
+
+/**
+ * The handle threaded through instrumented code: tracer + clock +
+ * current parent span. Copyable and cheap; pass by value.
+ */
+class TraceContext
+{
+  public:
+    /** Disabled context: every operation is a no-op. */
+    TraceContext() = default;
+
+    TraceContext(Tracer &tracer, const sim::VirtualClock &clock,
+                 SpanId parent = 0)
+        : tracer_(&tracer), clock_(&clock), parent_(parent)
+    {}
+
+    bool enabled() const { return tracer_ != nullptr; }
+
+    Tracer *tracer() const { return tracer_; }
+    SpanId parent() const { return parent_; }
+
+    /** Current virtual time (zero when disabled). */
+    sim::SimTime
+    now() const
+    {
+        return clock_ ? clock_->now() : sim::SimTime::zero();
+    }
+
+    /** The same tracer/clock with a different parent span. */
+    TraceContext
+    withParent(SpanId parent) const
+    {
+        TraceContext child = *this;
+        child.parent_ = parent;
+        return child;
+    }
+
+    /**
+     * Record an already-elapsed interval [now - duration, now] as a
+     * completed child span (retroactive stage measurement; this is what
+     * BootReport uses).
+     */
+    SpanId completedSpan(const std::string &name,
+                         sim::SimTime duration) const;
+
+  private:
+    Tracer *tracer_ = nullptr;
+    const sim::VirtualClock *clock_ = nullptr;
+    SpanId parent_ = 0;
+};
+
+/**
+ * RAII span: opens on construction under the context's parent, closes
+ * at destruction (or an earlier finish()) at the clock's then-current
+ * time. context() yields the TraceContext to hand to callees so their
+ * spans nest under this one.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceContext ctx, std::string name);
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan();
+
+    /** Attach an attribute to this span. */
+    void attr(const std::string &key, std::string value);
+    void attr(const std::string &key, std::int64_t value);
+
+    /** Close the span now; later finishes (and the destructor) no-op. */
+    void finish();
+
+    /** Context for callees: same tracer/clock, parent = this span. */
+    TraceContext
+    context() const
+    {
+        return ctx_.withParent(id_);
+    }
+
+    SpanId id() const { return id_; }
+
+  private:
+    TraceContext ctx_;
+    SpanId id_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace catalyzer::trace
+
+#endif // CATALYZER_TRACE_TRACE_H

@@ -19,6 +19,8 @@ namespace catalyzer::vfs {
 /** Connection flavor; sockets are costlier to re-establish than files. */
 enum class ConnKind { File, Socket, LogFile };
 
+const char *connKindName(ConnKind kind);
+
 /** One I/O connection held by a running function instance. */
 struct IoConnection
 {

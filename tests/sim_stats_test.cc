@@ -3,6 +3,7 @@
  * Unit tests for counters, latency series and table rendering.
  */
 
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -61,10 +62,59 @@ TEST(LatencySeriesTest, Percentiles)
 TEST(LatencySeriesTest, PercentileEdgeCases)
 {
     LatencySeries s;
-    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0); // empty
+    EXPECT_TRUE(std::isnan(s.percentile(50))); // empty
     s.addMs(7.0);
     EXPECT_DOUBLE_EQ(s.percentile(99), 7.0); // single sample
     EXPECT_DEATH(s.percentile(101), "out of range");
+}
+
+TEST(LatencySeriesTest, EmptySeriesStatisticsAreNaN)
+{
+    LatencySeries s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(std::isnan(s.mean()));
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    EXPECT_TRUE(std::isnan(s.percentile(0)));
+    EXPECT_TRUE(std::isnan(s.percentile(100)));
+    // Out-of-range percentiles still panic, even on an empty series.
+    EXPECT_DEATH(s.percentile(-1), "out of range");
+    // The CDF of an empty sample is identically zero, not NaN.
+    EXPECT_DOUBLE_EQ(s.cdfAt(1.0), 0.0);
+}
+
+TEST(StatRegistryTest, HistogramsObserveAndSnapshot)
+{
+    StatRegistry stats;
+    EXPECT_EQ(stats.findHistogram("boot"), nullptr);
+    stats.observe("boot", 2_ms);
+    stats.observeMs("boot", 4.0);
+    const LatencySeries *h = stats.findHistogram("boot");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_DOUBLE_EQ(h->mean(), 3.0);
+    stats.clear();
+    EXPECT_EQ(stats.findHistogram("boot"), nullptr);
+}
+
+TEST(StatRegistryTest, WriteJsonShape)
+{
+    StatRegistry stats;
+    stats.incr("boots", 3);
+    stats.observeMs("lat", 1.0);
+    stats.observeMs("lat", 3.0);
+    std::ostringstream os;
+    stats.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"counters\""), std::string::npos);
+    EXPECT_NE(out.find("\"boots\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(out.find("\"lat\""), std::string::npos);
+    EXPECT_NE(out.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"p50\""), std::string::npos);
+    EXPECT_NE(out.find("\"p99\""), std::string::npos);
+    // NaN must never leak into the JSON output.
+    EXPECT_EQ(out.find("nan"), std::string::npos);
 }
 
 TEST(LatencySeriesTest, Cdf)

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Tests for the boot tracing layer: span buffering and nesting,
+ * out-of-order finishes, the Chrome trace_event and text exporters
+ * (including attribute escaping and JSON well-formedness), BootReport
+ * span emission, log-level parsing, and the end-to-end span tree of a
+ * Catalyzer cold boot.
+ */
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalyzer/runtime.h"
+#include "sandbox/boot_report.h"
+#include "sandbox/pipelines.h"
+#include "sim/logging.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+namespace catalyzer::trace {
+namespace {
+
+using sandbox::FunctionArtifacts;
+using sandbox::FunctionRegistry;
+using sandbox::Machine;
+using sim::SimTime;
+using namespace sim::time_literals;
+
+//
+// A deliberately small recursive-descent JSON reader, just enough to
+// prove the exporter's output is parseable and to walk its structure.
+//
+class MiniJson
+{
+  public:
+    struct Value
+    {
+        enum class Kind { Null, Bool, Number, String, Array, Object };
+        Kind kind = Kind::Null;
+        double number = 0;
+        bool boolean = false;
+        std::string string;
+        std::vector<Value> array;
+        std::vector<std::pair<std::string, Value>> object;
+
+        const Value *
+        find(const std::string &key) const
+        {
+            for (const auto &[k, v] : object) {
+                if (k == key)
+                    return &v;
+            }
+            return nullptr;
+        }
+    };
+
+    static bool
+    parse(const std::string &text, Value *out)
+    {
+        MiniJson p(text);
+        if (!p.value(out))
+            return false;
+        p.ws();
+        return p.pos_ == text.size();
+    }
+
+  private:
+    explicit MiniJson(const std::string &text) : text_(text) {}
+
+    void
+    ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(Value *out)
+    {
+        ws();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"':
+            out->kind = Value::Kind::String;
+            return string(&out->string);
+          case 't':
+            out->kind = Value::Kind::Bool;
+            out->boolean = true;
+            return literal("true");
+          case 'f':
+            out->kind = Value::Kind::Bool;
+            out->boolean = false;
+            return literal("false");
+          case 'n':
+            out->kind = Value::Kind::Null;
+            return literal("null");
+          default: return number(out);
+        }
+    }
+
+    bool
+    number(Value *out)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        out->kind = Value::Kind::Number;
+        out->number = std::stod(text_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return false;
+                const char esc = text_[pos_ + 1];
+                switch (esc) {
+                  case '"': out->push_back('"'); break;
+                  case '\\': out->push_back('\\'); break;
+                  case '/': out->push_back('/'); break;
+                  case 'b': out->push_back('\b'); break;
+                  case 'f': out->push_back('\f'); break;
+                  case 'n': out->push_back('\n'); break;
+                  case 'r': out->push_back('\r'); break;
+                  case 't': out->push_back('\t'); break;
+                  case 'u': {
+                    if (pos_ + 5 >= text_.size())
+                        return false;
+                    const std::string hex = text_.substr(pos_ + 2, 4);
+                    out->push_back(static_cast<char>(
+                        std::stoi(hex, nullptr, 16) & 0xff));
+                    pos_ += 4;
+                    break;
+                  }
+                  default: return false;
+                }
+                pos_ += 2;
+            } else {
+                out->push_back(c);
+                ++pos_;
+            }
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    array(Value *out)
+    {
+        out->kind = Value::Kind::Array;
+        ++pos_; // '['
+        ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            Value v;
+            if (!value(&v))
+                return false;
+            out->array.push_back(std::move(v));
+            ws();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(Value *out)
+    {
+        out->kind = Value::Kind::Object;
+        ++pos_; // '{'
+        ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            ws();
+            std::string key;
+            if (pos_ >= text_.size() || !string(&key))
+                return false;
+            ws();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return false;
+            ++pos_;
+            Value v;
+            if (!value(&v))
+                return false;
+            out->object.emplace_back(std::move(key), std::move(v));
+            ws();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+const Span *
+findSpan(const std::vector<Span> &spans, const std::string &name)
+{
+    for (const Span &s : spans) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+TEST(TracerTest, NestedScopedSpans)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    TraceContext root(tracer, clock);
+
+    {
+        ScopedSpan outer(root, "outer");
+        clock.advance(2_ms);
+        {
+            ScopedSpan inner(outer.context(), "inner");
+            clock.advance(3_ms);
+        }
+        clock.advance(1_ms);
+    }
+
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    const Span *outer = findSpan(spans, "outer");
+    const Span *inner = findSpan(spans, "inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->parent, 0u);
+    EXPECT_EQ(inner->parent, outer->id);
+    EXPECT_TRUE(outer->finished);
+    EXPECT_TRUE(inner->finished);
+    EXPECT_EQ(outer->duration(), 6_ms);
+    EXPECT_EQ(inner->duration(), 3_ms);
+    EXPECT_EQ(inner->start, 2_ms);
+}
+
+TEST(TracerTest, OutOfOrderFinishAndDoubleEnd)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    const SpanId parent = tracer.begin("parent", clock.now());
+    const SpanId child = tracer.begin("child", clock.now(), parent);
+
+    clock.advance(1_ms);
+    tracer.end(parent, clock.now()); // parent finishes before child
+    clock.advance(1_ms);
+    tracer.end(child, clock.now());
+    tracer.end(child, clock.now() + 5_ms); // double-end: first wins
+    tracer.end(999, clock.now());          // unknown id: no-op
+
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(findSpan(spans, "parent")->duration(), 1_ms);
+    EXPECT_EQ(findSpan(spans, "child")->duration(), 2_ms);
+}
+
+TEST(TracerTest, EndBeforeStartClampsToZeroDuration)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    clock.advance(5_ms);
+    const SpanId id = tracer.begin("s", clock.now());
+    tracer.end(id, 1_ms); // before the span started
+    EXPECT_EQ(tracer.snapshot()[0].duration(), SimTime::zero());
+}
+
+TEST(TracerTest, DisabledContextIsNoOp)
+{
+    TraceContext disabled;
+    EXPECT_FALSE(disabled.enabled());
+    ScopedSpan span(disabled, "nothing");
+    span.attr("k", "v");
+    span.attr("n", std::int64_t{7});
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(disabled.completedSpan("x", 1_ms), 0u);
+    EXPECT_FALSE(span.context().enabled());
+}
+
+TEST(TracerTest, CompletedSpanIsRetroactive)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    clock.advance(10_ms);
+    TraceContext ctx(tracer, clock);
+    ctx.completedSpan("stage", 4_ms);
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].start, 6_ms);
+    EXPECT_EQ(spans[0].end, 10_ms);
+}
+
+TEST(ChromeExportTest, EscapesAttributesAndRoundTrips)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    TraceContext root(tracer, clock);
+    {
+        ScopedSpan span(root, "na\"me\\with\nnasties");
+        span.attr("quote\"key", std::string("va\\lue\twith\x01"
+                                            "ctrl"));
+        clock.advance(1_ms);
+    }
+    tracer.begin("unfinished", clock.now()); // stays open
+
+    std::ostringstream os;
+    exportChromeTrace(tracer, os);
+    const std::string json = os.str();
+
+    // The raw escapes must appear in the byte stream.
+    EXPECT_NE(json.find("na\\\"me\\\\with\\nnasties"), std::string::npos);
+    EXPECT_NE(json.find("quote\\\"key"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+
+    // And the whole document must parse back.
+    MiniJson::Value doc;
+    ASSERT_TRUE(MiniJson::parse(json, &doc));
+    const MiniJson::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array.size(), 2u);
+
+    const MiniJson::Value &ev = events->array[0];
+    EXPECT_EQ(ev.find("name")->string, "na\"me\\with\nnasties");
+    EXPECT_EQ(ev.find("ph")->string, "X");
+    EXPECT_DOUBLE_EQ(ev.find("dur")->number, 1000.0); // µs
+    const MiniJson::Value *args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("quote\"key")->string,
+              "va\\lue\twith\x01"
+              "ctrl");
+
+    const MiniJson::Value &open = events->array[1];
+    EXPECT_EQ(open.find("name")->string, "unfinished");
+    EXPECT_EQ(open.find("args")->find("unfinished")->string, "true");
+}
+
+TEST(TextExportTest, RendersHierarchy)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    TraceContext root(tracer, clock);
+    {
+        ScopedSpan outer(root, "boot");
+        clock.advance(1_ms);
+        ScopedSpan inner(outer.context(), "stage");
+        inner.attr("pages", std::int64_t{4});
+        clock.advance(1_ms);
+    }
+    std::ostringstream os;
+    exportText(tracer, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("2 spans"), std::string::npos);
+    EXPECT_NE(text.find("boot"), std::string::npos);
+    // The child is indented under its parent.
+    EXPECT_NE(text.find("  stage"), std::string::npos);
+    EXPECT_NE(text.find("pages=4"), std::string::npos);
+}
+
+TEST(BootReportTest, EmitsStageSpansWhenBound)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    clock.advance(20_ms);
+
+    sandbox::BootReport report;
+    report.bindTrace(TraceContext(tracer, clock));
+    report.addSandboxStage("construct", 2_ms);
+    report.addAppStage("restore", 3_ms);
+    report.addAppStage("silent", 1_ms, /*emit_span=*/false);
+
+    EXPECT_EQ(report.total(), 6_ms);
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    const Span *construct = findSpan(spans, "construct");
+    ASSERT_NE(construct, nullptr);
+    ASSERT_FALSE(construct->attributes.empty());
+    EXPECT_EQ(construct->attributes[0].second, "sandbox-init");
+    const Span *restore = findSpan(spans, "restore");
+    ASSERT_NE(restore, nullptr);
+    EXPECT_EQ(restore->attributes[0].second, "app-init");
+    EXPECT_EQ(findSpan(spans, "silent"), nullptr);
+}
+
+TEST(LogLevelTest, ParseLogLevel)
+{
+    using sim::LogLevel;
+    using sim::parseLogLevel;
+    EXPECT_EQ(parseLogLevel("silent", LogLevel::Warn), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("WARN", LogLevel::Silent), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("Inform", LogLevel::Warn), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("debug", LogLevel::Warn), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("3", LogLevel::Warn), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("0", LogLevel::Warn), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("bogus", LogLevel::Inform), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel(nullptr, LogLevel::Debug), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("", LogLevel::Warn), LogLevel::Warn);
+}
+
+TEST(TraceIntegrationTest, CatalyzerColdBootSpanTree)
+{
+    Machine machine(42);
+    FunctionRegistry registry(machine);
+    core::CatalyzerRuntime runtime(machine);
+    FunctionArtifacts &fn =
+        registry.artifactsFor(apps::appByName("python-hello"));
+
+    Tracer tracer;
+    TraceContext root(tracer, machine.ctx().clock());
+    runtime.bootCold(fn, root);
+
+    const auto spans = tracer.snapshot();
+    const Span *boot = findSpan(spans, "boot/Catalyzer-cold");
+    ASSERT_NE(boot, nullptr);
+    EXPECT_TRUE(boot->finished);
+
+    // The acceptance stages are distinct children of the boot span.
+    for (const char *stage :
+         {"overlay-map", "separated-state-fixup", "io-reconnect",
+          "sandbox-acquire", "specialize"}) {
+        const Span *s = findSpan(spans, stage);
+        ASSERT_NE(s, nullptr) << "missing span " << stage;
+        EXPECT_EQ(s->parent, boot->id) << stage;
+        EXPECT_TRUE(s->finished) << stage;
+    }
+    // The separated-state fix-up has its own structure below it.
+    const Span *fixup = findSpan(spans, "separated-state-fixup");
+    const Span *relation = findSpan(spans, "relation-fixup");
+    ASSERT_NE(relation, nullptr);
+    EXPECT_EQ(relation->parent, fixup->id);
+    const Span *arena = findSpan(spans, "arena-map");
+    ASSERT_NE(arena, nullptr);
+    EXPECT_EQ(arena->parent, fixup->id);
+
+    // Every span is finished, and all within the boot interval.
+    for (const Span &s : spans) {
+        EXPECT_TRUE(s.finished) << s.name;
+        EXPECT_GE(s.start, boot->start) << s.name;
+        EXPECT_LE(s.end, boot->end) << s.name;
+    }
+
+    // The boot latency landed in the per-system histogram.
+    const sim::LatencySeries *h =
+        machine.ctx().stats().findHistogram("boot.latency.Catalyzer-cold");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 1u);
+
+    // The whole trace exports to parseable Chrome JSON.
+    std::ostringstream os;
+    exportChromeTrace(tracer, os);
+    MiniJson::Value doc;
+    EXPECT_TRUE(MiniJson::parse(os.str(), &doc));
+}
+
+TEST(TraceIntegrationTest, FreshBootPipelineSpanTree)
+{
+    Machine machine(7);
+    FunctionRegistry registry(machine);
+    FunctionArtifacts &fn =
+        registry.artifactsFor(apps::appByName("python-hello"));
+
+    Tracer tracer;
+    TraceContext root(tracer, machine.ctx().clock());
+    sandbox::bootSandbox(sandbox::SandboxSystem::GVisor, fn, root);
+
+    const auto spans = tracer.snapshot();
+    const Span *boot = findSpan(spans, "boot/gVisor");
+    ASSERT_NE(boot, nullptr);
+    const Span *create = findSpan(spans, "create-kernel-platform");
+    ASSERT_NE(create, nullptr);
+    EXPECT_EQ(create->parent, boot->id);
+    const Span *kvm = findSpan(spans, "kvm-setup");
+    ASSERT_NE(kvm, nullptr);
+    EXPECT_EQ(kvm->parent, create->id);
+    ASSERT_NE(findSpan(spans, "application-init"), nullptr);
+
+    const sim::LatencySeries *h =
+        machine.ctx().stats().findHistogram("boot.latency.gVisor");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(TraceIntegrationTest, UntracedBootStillObservesHistograms)
+{
+    Machine machine(9);
+    FunctionRegistry registry(machine);
+    core::CatalyzerRuntime runtime(machine);
+    FunctionArtifacts &fn =
+        registry.artifactsFor(apps::appByName("python-hello"));
+    runtime.bootWarm(fn); // no trace argument anywhere
+    const sim::LatencySeries *h =
+        machine.ctx().stats().findHistogram("boot.latency.Catalyzer-warm");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 1u);
+}
+
+} // namespace
+} // namespace catalyzer::trace
