@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_keepalive.dir/ablation_keepalive.cc.o"
+  "CMakeFiles/ablation_keepalive.dir/ablation_keepalive.cc.o.d"
+  "ablation_keepalive"
+  "ablation_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

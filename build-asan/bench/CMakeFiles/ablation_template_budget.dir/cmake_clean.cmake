@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_template_budget.dir/ablation_template_budget.cc.o"
+  "CMakeFiles/ablation_template_budget.dir/ablation_template_budget.cc.o.d"
+  "ablation_template_budget"
+  "ablation_template_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_template_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

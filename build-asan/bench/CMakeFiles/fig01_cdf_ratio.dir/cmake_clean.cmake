@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cdf_ratio.dir/fig01_cdf_ratio.cc.o"
+  "CMakeFiles/fig01_cdf_ratio.dir/fig01_cdf_ratio.cc.o.d"
+  "fig01_cdf_ratio"
+  "fig01_cdf_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cdf_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_design_space.dir/fig03_design_space.cc.o"
+  "CMakeFiles/fig03_design_space.dir/fig03_design_space.cc.o.d"
+  "fig03_design_space"
+  "fig03_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_startup_split.dir/fig04_startup_split.cc.o"
+  "CMakeFiles/fig04_startup_split.dir/fig04_startup_split.cc.o.d"
+  "fig04_startup_split"
+  "fig04_startup_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_startup_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

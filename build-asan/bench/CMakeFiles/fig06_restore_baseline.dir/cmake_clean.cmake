@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_restore_baseline.dir/fig06_restore_baseline.cc.o"
+  "CMakeFiles/fig06_restore_baseline.dir/fig06_restore_baseline.cc.o.d"
+  "fig06_restore_baseline"
+  "fig06_restore_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_restore_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_startup_matrix.dir/fig11_startup_matrix.cc.o"
+  "CMakeFiles/fig11_startup_matrix.dir/fig11_startup_matrix.cc.o.d"
+  "fig11_startup_matrix"
+  "fig11_startup_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_startup_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

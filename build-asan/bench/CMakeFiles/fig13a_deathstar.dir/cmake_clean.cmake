@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_deathstar.dir/fig13a_deathstar.cc.o"
+  "CMakeFiles/fig13a_deathstar.dir/fig13a_deathstar.cc.o.d"
+  "fig13a_deathstar"
+  "fig13a_deathstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_deathstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_pillow.dir/fig13b_pillow.cc.o"
+  "CMakeFiles/fig13b_pillow.dir/fig13b_pillow.cc.o.d"
+  "fig13b_pillow"
+  "fig13b_pillow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_pillow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13c_ecommerce.dir/fig13c_ecommerce.cc.o"
+  "CMakeFiles/fig13c_ecommerce.dir/fig13c_ecommerce.cc.o.d"
+  "fig13c_ecommerce"
+  "fig13c_ecommerce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13c_ecommerce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

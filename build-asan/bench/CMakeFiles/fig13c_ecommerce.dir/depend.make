@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13c_ecommerce.
+# This may be replaced when dependencies are built.

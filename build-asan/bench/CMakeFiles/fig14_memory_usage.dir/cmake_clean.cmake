@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_memory_usage.dir/fig14_memory_usage.cc.o"
+  "CMakeFiles/fig14_memory_usage.dir/fig14_memory_usage.cc.o.d"
+  "fig14_memory_usage"
+  "fig14_memory_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16a_entry_point.dir/fig16a_entry_point.cc.o"
+  "CMakeFiles/fig16a_entry_point.dir/fig16a_entry_point.cc.o.d"
+  "fig16a_entry_point"
+  "fig16a_entry_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_entry_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_kvm_cache.dir/fig16b_kvm_cache.cc.o"
+  "CMakeFiles/fig16b_kvm_cache.dir/fig16b_kvm_cache.cc.o.d"
+  "fig16b_kvm_cache"
+  "fig16b_kvm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_kvm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16c_pml.dir/fig16c_pml.cc.o"
+  "CMakeFiles/fig16c_pml.dir/fig16c_pml.cc.o.d"
+  "fig16c_pml"
+  "fig16c_pml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16c_pml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16c_pml.
+# This may be replaced when dependencies are built.

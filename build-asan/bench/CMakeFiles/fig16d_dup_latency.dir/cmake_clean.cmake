@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16d_dup_latency.dir/fig16d_dup_latency.cc.o"
+  "CMakeFiles/fig16d_dup_latency.dir/fig16d_dup_latency.cc.o.d"
+  "fig16d_dup_latency"
+  "fig16d_dup_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16d_dup_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16d_dup_latency.
+# This may be replaced when dependencies are built.

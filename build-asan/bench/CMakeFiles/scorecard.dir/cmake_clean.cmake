@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorecard.dir/scorecard.cc.o"
+  "CMakeFiles/scorecard.dir/scorecard.cc.o.d"
+  "scorecard"
+  "scorecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_syscall_policy.dir/tab01_syscall_policy.cc.o"
+  "CMakeFiles/tab01_syscall_policy.dir/tab01_syscall_policy.cc.o.d"
+  "tab01_syscall_policy"
+  "tab01_syscall_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_syscall_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

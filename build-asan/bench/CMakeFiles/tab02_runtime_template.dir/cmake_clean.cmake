@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_runtime_template.dir/tab02_runtime_template.cc.o"
+  "CMakeFiles/tab02_runtime_template.dir/tab02_runtime_template.cc.o.d"
+  "tab02_runtime_template"
+  "tab02_runtime_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_runtime_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab02_runtime_template.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_memory_costs.dir/tab03_memory_costs.cc.o"
+  "CMakeFiles/tab03_memory_costs.dir/tab03_memory_costs.cc.o.d"
+  "tab03_memory_costs"
+  "tab03_memory_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_memory_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

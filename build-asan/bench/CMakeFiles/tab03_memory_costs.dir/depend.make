@@ -1,0 +1,2 @@
+# Empty dependencies file for tab03_memory_costs.
+# This may be replaced when dependencies are built.

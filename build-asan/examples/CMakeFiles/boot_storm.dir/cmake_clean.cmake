@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_storm.dir/boot_storm.cpp.o"
+  "CMakeFiles/boot_storm.dir/boot_storm.cpp.o.d"
+  "boot_storm"
+  "boot_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_service.dir/image_service.cpp.o"
+  "CMakeFiles/image_service.dir/image_service.cpp.o.d"
+  "image_service"
+  "image_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_apps.dir/app_catalog.cc.o"
+  "CMakeFiles/catalyzer_apps.dir/app_catalog.cc.o.d"
+  "libcatalyzer_apps.a"
+  "libcatalyzer_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

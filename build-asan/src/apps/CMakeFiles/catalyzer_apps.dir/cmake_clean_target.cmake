@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcatalyzer_apps.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_core.dir/runtime.cc.o"
+  "CMakeFiles/catalyzer_core.dir/runtime.cc.o.d"
+  "CMakeFiles/catalyzer_core.dir/zygote.cc.o"
+  "CMakeFiles/catalyzer_core.dir/zygote.cc.o.d"
+  "libcatalyzer_core.a"
+  "libcatalyzer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/go_runtime.cc" "src/guest/CMakeFiles/catalyzer_guest.dir/go_runtime.cc.o" "gcc" "src/guest/CMakeFiles/catalyzer_guest.dir/go_runtime.cc.o.d"
+  "/root/repo/src/guest/guest_kernel.cc" "src/guest/CMakeFiles/catalyzer_guest.dir/guest_kernel.cc.o" "gcc" "src/guest/CMakeFiles/catalyzer_guest.dir/guest_kernel.cc.o.d"
+  "/root/repo/src/guest/syscall_policy.cc" "src/guest/CMakeFiles/catalyzer_guest.dir/syscall_policy.cc.o" "gcc" "src/guest/CMakeFiles/catalyzer_guest.dir/syscall_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vfs/CMakeFiles/catalyzer_vfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/objgraph/CMakeFiles/catalyzer_objgraph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/catalyzer_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/catalyzer_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_guest.dir/go_runtime.cc.o"
+  "CMakeFiles/catalyzer_guest.dir/go_runtime.cc.o.d"
+  "CMakeFiles/catalyzer_guest.dir/guest_kernel.cc.o"
+  "CMakeFiles/catalyzer_guest.dir/guest_kernel.cc.o.d"
+  "CMakeFiles/catalyzer_guest.dir/syscall_policy.cc.o"
+  "CMakeFiles/catalyzer_guest.dir/syscall_policy.cc.o.d"
+  "libcatalyzer_guest.a"
+  "libcatalyzer_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hostos/host_kernel.cc" "src/hostos/CMakeFiles/catalyzer_hostos.dir/host_kernel.cc.o" "gcc" "src/hostos/CMakeFiles/catalyzer_hostos.dir/host_kernel.cc.o.d"
+  "/root/repo/src/hostos/kvm.cc" "src/hostos/CMakeFiles/catalyzer_hostos.dir/kvm.cc.o" "gcc" "src/hostos/CMakeFiles/catalyzer_hostos.dir/kvm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/catalyzer_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vfs/CMakeFiles/catalyzer_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

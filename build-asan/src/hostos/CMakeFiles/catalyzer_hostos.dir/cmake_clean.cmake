@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_hostos.dir/host_kernel.cc.o"
+  "CMakeFiles/catalyzer_hostos.dir/host_kernel.cc.o.d"
+  "CMakeFiles/catalyzer_hostos.dir/kvm.cc.o"
+  "CMakeFiles/catalyzer_hostos.dir/kvm.cc.o.d"
+  "libcatalyzer_hostos.a"
+  "libcatalyzer_hostos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_hostos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

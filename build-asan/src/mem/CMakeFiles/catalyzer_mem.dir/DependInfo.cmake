@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/catalyzer_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/catalyzer_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/backing_file.cc" "src/mem/CMakeFiles/catalyzer_mem.dir/backing_file.cc.o" "gcc" "src/mem/CMakeFiles/catalyzer_mem.dir/backing_file.cc.o.d"
+  "/root/repo/src/mem/base_mapping.cc" "src/mem/CMakeFiles/catalyzer_mem.dir/base_mapping.cc.o" "gcc" "src/mem/CMakeFiles/catalyzer_mem.dir/base_mapping.cc.o.d"
+  "/root/repo/src/mem/frame_store.cc" "src/mem/CMakeFiles/catalyzer_mem.dir/frame_store.cc.o" "gcc" "src/mem/CMakeFiles/catalyzer_mem.dir/frame_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

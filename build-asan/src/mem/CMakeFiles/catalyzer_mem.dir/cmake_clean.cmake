@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_mem.dir/address_space.cc.o"
+  "CMakeFiles/catalyzer_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/catalyzer_mem.dir/backing_file.cc.o"
+  "CMakeFiles/catalyzer_mem.dir/backing_file.cc.o.d"
+  "CMakeFiles/catalyzer_mem.dir/base_mapping.cc.o"
+  "CMakeFiles/catalyzer_mem.dir/base_mapping.cc.o.d"
+  "CMakeFiles/catalyzer_mem.dir/frame_store.cc.o"
+  "CMakeFiles/catalyzer_mem.dir/frame_store.cc.o.d"
+  "libcatalyzer_mem.a"
+  "libcatalyzer_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

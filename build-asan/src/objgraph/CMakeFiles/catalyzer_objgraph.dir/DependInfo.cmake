@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objgraph/object_graph.cc" "src/objgraph/CMakeFiles/catalyzer_objgraph.dir/object_graph.cc.o" "gcc" "src/objgraph/CMakeFiles/catalyzer_objgraph.dir/object_graph.cc.o.d"
+  "/root/repo/src/objgraph/proto_codec.cc" "src/objgraph/CMakeFiles/catalyzer_objgraph.dir/proto_codec.cc.o" "gcc" "src/objgraph/CMakeFiles/catalyzer_objgraph.dir/proto_codec.cc.o.d"
+  "/root/repo/src/objgraph/separated_image.cc" "src/objgraph/CMakeFiles/catalyzer_objgraph.dir/separated_image.cc.o" "gcc" "src/objgraph/CMakeFiles/catalyzer_objgraph.dir/separated_image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/catalyzer_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/catalyzer_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

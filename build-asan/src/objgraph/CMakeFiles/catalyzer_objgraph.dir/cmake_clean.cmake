@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_objgraph.dir/object_graph.cc.o"
+  "CMakeFiles/catalyzer_objgraph.dir/object_graph.cc.o.d"
+  "CMakeFiles/catalyzer_objgraph.dir/proto_codec.cc.o"
+  "CMakeFiles/catalyzer_objgraph.dir/proto_codec.cc.o.d"
+  "CMakeFiles/catalyzer_objgraph.dir/separated_image.cc.o"
+  "CMakeFiles/catalyzer_objgraph.dir/separated_image.cc.o.d"
+  "libcatalyzer_objgraph.a"
+  "libcatalyzer_objgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_objgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

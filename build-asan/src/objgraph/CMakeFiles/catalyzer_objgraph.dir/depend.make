@@ -1,0 +1,2 @@
+# Empty dependencies file for catalyzer_objgraph.
+# This may be replaced when dependencies are built.

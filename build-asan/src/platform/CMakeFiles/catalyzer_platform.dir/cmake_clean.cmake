@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_platform.dir/cluster.cc.o"
+  "CMakeFiles/catalyzer_platform.dir/cluster.cc.o.d"
+  "CMakeFiles/catalyzer_platform.dir/platform.cc.o"
+  "CMakeFiles/catalyzer_platform.dir/platform.cc.o.d"
+  "CMakeFiles/catalyzer_platform.dir/policy.cc.o"
+  "CMakeFiles/catalyzer_platform.dir/policy.cc.o.d"
+  "CMakeFiles/catalyzer_platform.dir/workload.cc.o"
+  "CMakeFiles/catalyzer_platform.dir/workload.cc.o.d"
+  "libcatalyzer_platform.a"
+  "libcatalyzer_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sandbox/compiler.cc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/compiler.cc.o" "gcc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/compiler.cc.o.d"
+  "/root/repo/src/sandbox/function_artifacts.cc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/function_artifacts.cc.o" "gcc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/function_artifacts.cc.o.d"
+  "/root/repo/src/sandbox/instance.cc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/instance.cc.o" "gcc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/instance.cc.o.d"
+  "/root/repo/src/sandbox/machine.cc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/machine.cc.o" "gcc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/machine.cc.o.d"
+  "/root/repo/src/sandbox/pipelines.cc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/pipelines.cc.o" "gcc" "src/sandbox/CMakeFiles/catalyzer_sandbox.dir/pipelines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/catalyzer_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vfs/CMakeFiles/catalyzer_vfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/objgraph/CMakeFiles/catalyzer_objgraph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hostos/CMakeFiles/catalyzer_hostos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/guest/CMakeFiles/catalyzer_guest.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/apps/CMakeFiles/catalyzer_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/snapshot/CMakeFiles/catalyzer_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/catalyzer_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_sandbox.dir/compiler.cc.o"
+  "CMakeFiles/catalyzer_sandbox.dir/compiler.cc.o.d"
+  "CMakeFiles/catalyzer_sandbox.dir/function_artifacts.cc.o"
+  "CMakeFiles/catalyzer_sandbox.dir/function_artifacts.cc.o.d"
+  "CMakeFiles/catalyzer_sandbox.dir/instance.cc.o"
+  "CMakeFiles/catalyzer_sandbox.dir/instance.cc.o.d"
+  "CMakeFiles/catalyzer_sandbox.dir/machine.cc.o"
+  "CMakeFiles/catalyzer_sandbox.dir/machine.cc.o.d"
+  "CMakeFiles/catalyzer_sandbox.dir/pipelines.cc.o"
+  "CMakeFiles/catalyzer_sandbox.dir/pipelines.cc.o.d"
+  "libcatalyzer_sandbox.a"
+  "libcatalyzer_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

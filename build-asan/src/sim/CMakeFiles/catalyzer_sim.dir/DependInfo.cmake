@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cc" "src/sim/CMakeFiles/catalyzer_sim.dir/clock.cc.o" "gcc" "src/sim/CMakeFiles/catalyzer_sim.dir/clock.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/catalyzer_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/catalyzer_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/catalyzer_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/catalyzer_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/catalyzer_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/catalyzer_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/catalyzer_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/catalyzer_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/sim/CMakeFiles/catalyzer_sim.dir/table.cc.o" "gcc" "src/sim/CMakeFiles/catalyzer_sim.dir/table.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/sim/CMakeFiles/catalyzer_sim.dir/time.cc.o" "gcc" "src/sim/CMakeFiles/catalyzer_sim.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

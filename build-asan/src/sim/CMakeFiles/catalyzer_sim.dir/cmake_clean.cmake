@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_sim.dir/clock.cc.o"
+  "CMakeFiles/catalyzer_sim.dir/clock.cc.o.d"
+  "CMakeFiles/catalyzer_sim.dir/cost_model.cc.o"
+  "CMakeFiles/catalyzer_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/catalyzer_sim.dir/logging.cc.o"
+  "CMakeFiles/catalyzer_sim.dir/logging.cc.o.d"
+  "CMakeFiles/catalyzer_sim.dir/rng.cc.o"
+  "CMakeFiles/catalyzer_sim.dir/rng.cc.o.d"
+  "CMakeFiles/catalyzer_sim.dir/stats.cc.o"
+  "CMakeFiles/catalyzer_sim.dir/stats.cc.o.d"
+  "CMakeFiles/catalyzer_sim.dir/table.cc.o"
+  "CMakeFiles/catalyzer_sim.dir/table.cc.o.d"
+  "CMakeFiles/catalyzer_sim.dir/time.cc.o"
+  "CMakeFiles/catalyzer_sim.dir/time.cc.o.d"
+  "libcatalyzer_sim.a"
+  "libcatalyzer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

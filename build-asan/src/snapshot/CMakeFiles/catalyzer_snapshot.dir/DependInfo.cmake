@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snapshot/func_image.cc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/func_image.cc.o" "gcc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/func_image.cc.o.d"
+  "/root/repo/src/snapshot/image_store.cc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/image_store.cc.o" "gcc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/image_store.cc.o.d"
+  "/root/repo/src/snapshot/io_reconnect.cc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/io_reconnect.cc.o" "gcc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/io_reconnect.cc.o.d"
+  "/root/repo/src/snapshot/restore_baseline.cc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/restore_baseline.cc.o" "gcc" "src/snapshot/CMakeFiles/catalyzer_snapshot.dir/restore_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/catalyzer_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vfs/CMakeFiles/catalyzer_vfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/objgraph/CMakeFiles/catalyzer_objgraph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/guest/CMakeFiles/catalyzer_guest.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/apps/CMakeFiles/catalyzer_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/catalyzer_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

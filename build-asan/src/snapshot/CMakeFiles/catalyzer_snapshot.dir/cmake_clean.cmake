@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_snapshot.dir/func_image.cc.o"
+  "CMakeFiles/catalyzer_snapshot.dir/func_image.cc.o.d"
+  "CMakeFiles/catalyzer_snapshot.dir/image_store.cc.o"
+  "CMakeFiles/catalyzer_snapshot.dir/image_store.cc.o.d"
+  "CMakeFiles/catalyzer_snapshot.dir/io_reconnect.cc.o"
+  "CMakeFiles/catalyzer_snapshot.dir/io_reconnect.cc.o.d"
+  "CMakeFiles/catalyzer_snapshot.dir/restore_baseline.cc.o"
+  "CMakeFiles/catalyzer_snapshot.dir/restore_baseline.cc.o.d"
+  "libcatalyzer_snapshot.a"
+  "libcatalyzer_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_trace.dir/export.cc.o"
+  "CMakeFiles/catalyzer_trace.dir/export.cc.o.d"
+  "CMakeFiles/catalyzer_trace.dir/trace.cc.o"
+  "CMakeFiles/catalyzer_trace.dir/trace.cc.o.d"
+  "libcatalyzer_trace.a"
+  "libcatalyzer_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

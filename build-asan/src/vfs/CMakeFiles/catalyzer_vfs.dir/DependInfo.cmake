@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/dup_model.cc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/dup_model.cc.o" "gcc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/dup_model.cc.o.d"
+  "/root/repo/src/vfs/fd_table.cc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/fd_table.cc.o" "gcc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/fd_table.cc.o.d"
+  "/root/repo/src/vfs/fs_server.cc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/fs_server.cc.o" "gcc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/fs_server.cc.o.d"
+  "/root/repo/src/vfs/inode_tree.cc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/inode_tree.cc.o" "gcc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/inode_tree.cc.o.d"
+  "/root/repo/src/vfs/io_connection.cc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/io_connection.cc.o" "gcc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/io_connection.cc.o.d"
+  "/root/repo/src/vfs/overlay_rootfs.cc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/overlay_rootfs.cc.o" "gcc" "src/vfs/CMakeFiles/catalyzer_vfs.dir/overlay_rootfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/catalyzer_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

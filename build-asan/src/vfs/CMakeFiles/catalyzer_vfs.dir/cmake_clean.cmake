@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_vfs.dir/dup_model.cc.o"
+  "CMakeFiles/catalyzer_vfs.dir/dup_model.cc.o.d"
+  "CMakeFiles/catalyzer_vfs.dir/fd_table.cc.o"
+  "CMakeFiles/catalyzer_vfs.dir/fd_table.cc.o.d"
+  "CMakeFiles/catalyzer_vfs.dir/fs_server.cc.o"
+  "CMakeFiles/catalyzer_vfs.dir/fs_server.cc.o.d"
+  "CMakeFiles/catalyzer_vfs.dir/inode_tree.cc.o"
+  "CMakeFiles/catalyzer_vfs.dir/inode_tree.cc.o.d"
+  "CMakeFiles/catalyzer_vfs.dir/io_connection.cc.o"
+  "CMakeFiles/catalyzer_vfs.dir/io_connection.cc.o.d"
+  "CMakeFiles/catalyzer_vfs.dir/overlay_rootfs.cc.o"
+  "CMakeFiles/catalyzer_vfs.dir/overlay_rootfs.cc.o.d"
+  "libcatalyzer_vfs.a"
+  "libcatalyzer_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyzer_test.dir/catalyzer_test.cc.o"
+  "CMakeFiles/catalyzer_test.dir/catalyzer_test.cc.o.d"
+  "catalyzer_test"
+  "catalyzer_test.pdb"
+  "catalyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_platform_test.dir/fuzz_platform_test.cc.o"
+  "CMakeFiles/fuzz_platform_test.dir/fuzz_platform_test.cc.o.d"
+  "fuzz_platform_test"
+  "fuzz_platform_test.pdb"
+  "fuzz_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostos_test.dir/hostos_test.cc.o"
+  "CMakeFiles/hostos_test.dir/hostos_test.cc.o.d"
+  "hostos_test"
+  "hostos_test.pdb"
+  "hostos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_store_test.dir/image_store_test.cc.o"
+  "CMakeFiles/image_store_test.dir/image_store_test.cc.o.d"
+  "image_store_test"
+  "image_store_test.pdb"
+  "image_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

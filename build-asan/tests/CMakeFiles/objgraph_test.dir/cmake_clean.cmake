@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objgraph_test.dir/objgraph_test.cc.o"
+  "CMakeFiles/objgraph_test.dir/objgraph_test.cc.o.d"
+  "objgraph_test"
+  "objgraph_test.pdb"
+  "objgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

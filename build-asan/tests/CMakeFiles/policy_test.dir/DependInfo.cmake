@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policy_test.cc" "tests/CMakeFiles/policy_test.dir/policy_test.cc.o" "gcc" "tests/CMakeFiles/policy_test.dir/policy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/platform/CMakeFiles/catalyzer_platform.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/catalyzer/CMakeFiles/catalyzer_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sandbox/CMakeFiles/catalyzer_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/snapshot/CMakeFiles/catalyzer_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/apps/CMakeFiles/catalyzer_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/guest/CMakeFiles/catalyzer_guest.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hostos/CMakeFiles/catalyzer_hostos.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/objgraph/CMakeFiles/catalyzer_objgraph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vfs/CMakeFiles/catalyzer_vfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/catalyzer_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/catalyzer_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/catalyzer_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_rng_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_stats_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mem_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/objgraph_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hostos_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/guest_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sandbox_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/catalyzer_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/platform_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/image_store_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/policy_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fuzz_platform_test[1]_include.cmake")
