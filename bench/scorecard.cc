@@ -225,6 +225,38 @@ main()
     }
 
     //
+    // Extension: working-set prefetch (REAP line of work). The recorded
+    // restore trace should cover nearly all pages a later cold restore
+    // touches before its first response (REAP reports ~97% of the
+    // working set captured after one record).
+    //
+    {
+        sandbox::Machine machine(42);
+        sandbox::FunctionRegistry registry(machine);
+        core::CatalyzerOptions options;
+        options.prefetchWorkingSet = true;
+        core::CatalyzerRuntime runtime(machine, options);
+        auto &fn = registry.artifactsFor(apps::appByName("python-hello"));
+        auto recorded = runtime.bootCold(fn);
+        recorded.instance->invoke();
+        recorded.instance.reset();
+        fn.sharedBase.reset();
+        fn.separatedImage->file().evict();
+        fn.firstRestoreDone = false;
+        auto prefetched = runtime.bootCold(fn);
+        prefetched.instance->invoke();
+        prefetched.instance.reset();
+        const auto *rate = machine.ctx().stats().findHistogram(
+            "prefetch.manifest_hit_rate");
+        check("prefetch working-set hit rate (%)", 97.0,
+              rate ? 100.0 * rate->mean() : 0.0, 1.1);
+        check("prefetch wasted pages (of ~1.5k set)", 0.0,
+              static_cast<double>(machine.ctx().stats().value(
+                  "prefetch.wasted_pages")),
+              5.0);
+    }
+
+    //
     // Render.
     //
     sim::TextTable table("Anchor scorecard");

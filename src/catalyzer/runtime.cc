@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "guest/syscall_policy.h"
+#include "prefetch/fault_recorder.h"
+#include "prefetch/prefetcher.h"
 #include "sim/clock.h"
 #include "sim/logging.h"
 #include "snapshot/io_reconnect.h"
@@ -89,6 +91,41 @@ CatalyzerRuntime::acquireImage(FunctionArtifacts &fn,
             images_.publish(image);
     }
     return image;
+}
+
+std::shared_ptr<prefetch::WorkingSetManifest>
+CatalyzerRuntime::ensureWorkingSet(FunctionArtifacts &fn,
+                                   const snapshot::FuncImage &image)
+{
+    if (!options_.recordWorkingSet && !options_.prefetchWorkingSet)
+        return nullptr;
+    auto &ctx = machine_.ctx();
+
+    if (!fn.workingSet)
+        fn.workingSet = images_.fetchManifest(fn.app().name);
+
+    if (fn.workingSet && !fn.workingSet->matches(image.generation())) {
+        // The image was rebuilt (warming, corruption repair): the
+        // recorded pages describe the old layout. Drop the manifest and
+        // fall back to demand paging while a fresh one is recorded.
+        ctx.stats().incr("prefetch.manifest_stale");
+        fn.workingSet.reset();
+        images_.dropManifest(fn.app().name);
+    }
+
+    if (!fn.workingSet && options_.recordWorkingSet) {
+        fn.workingSet = std::make_shared<prefetch::WorkingSetManifest>(
+            fn.app().name, image.generation(), options_.workingSetTraces,
+            options_.workingSetMinFraction);
+    }
+
+    if (fn.workingSet && fn.workingSet->dirty()) {
+        // A trace was merged since the last boot: publish the manifest
+        // next to the func-image (asynchronous background work).
+        images_.publishManifest(*fn.workingSet);
+        fn.workingSet->markPublished();
+    }
+    return fn.workingSet;
 }
 
 BootResult
@@ -198,6 +235,58 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm,
     result.report.addAppStage(warm ? "share-mapping" : "map-image",
                               watch.elapsed(), /*emit_span=*/false);
     watch.restart();
+
+    //
+    // Working-set prefetch (REAP-style): load the recorded stable set
+    // into the just-established Base-EPT in large batched reads, so the
+    // first request demand-pages only what the manifest missed. The
+    // recording window for refining the manifest is armed further down,
+    // once the instance is assembled.
+    //
+    std::shared_ptr<prefetch::WorkingSetManifest> manifest =
+        ensureWorkingSet(fn, *image);
+    std::vector<mem::PageIndex> prefetched_set;
+    if (options_.prefetchWorkingSet) {
+        trace::ScopedSpan span(tctx, "prefetch");
+        if (manifest && manifest->usable()) {
+            ctx.stats().incr("prefetch.manifest_hits");
+            std::vector<mem::PageIndex> stable = manifest->stableSet();
+            span.attr("stable_pages",
+                      static_cast<std::int64_t>(stable.size()));
+            span.attr("traces",
+                      static_cast<std::int64_t>(manifest->traceCount()));
+            prefetch::prefetchIntoBase(ctx, *fn.sharedBase, stable,
+                                       options_.prefetchBatchPages,
+                                       span.context());
+            prefetched_set = std::move(stable);
+        } else {
+            // Missing or still-empty manifest: plain demand paging.
+            ctx.stats().incr("prefetch.manifest_misses");
+            span.attr("skipped", manifest ? "manifest-empty"
+                                          : "manifest-missing");
+        }
+        result.report.addAppStage("prefetch", watch.elapsed(),
+                                  /*emit_span=*/false);
+        watch.restart();
+    }
+
+    //
+    // Arm the restore-to-first-response recording window: refine the
+    // manifest while it is not frozen, and audit a prefetched set
+    // against the pages the window actually touches (hit rate, wasted
+    // pages). The window closes at the end of the first invocation.
+    //
+    const bool record_trace =
+        manifest && options_.recordWorkingSet && !manifest->frozen();
+    if (record_trace || !prefetched_set.empty()) {
+        auto recorder = std::make_unique<prefetch::FaultRecorder>(
+            base_va, image->totalPages());
+        if (record_trace)
+            recorder->enableRecording(manifest);
+        if (!prefetched_set.empty())
+            recorder->enableAudit(std::move(prefetched_set));
+        inst->armWorkingSetRecorder(std::move(recorder));
+    }
 
     //
     // Separated state recovery: stage-1 map + stage-2 parallel fix-up,

@@ -46,6 +46,22 @@ struct CatalyzerOptions
     /** Verify image checksums before restoring; corrupted images are
      *  rebuilt from a fresh checkpoint. */
     bool verifyImages = false;
+    /**
+     * Working-set prefetch (REAP-style extension, src/prefetch/).
+     * recordWorkingSet captures the page-fault trace of each restore's
+     * restore-to-first-response window into a per-function manifest
+     * (observation only: no boot-path latency). prefetchWorkingSet
+     * eagerly populates the manifest's stable set into the Base-EPT in
+     * batched reads of prefetchBatchPages pages before the first
+     * request, falling back to demand paging when the manifest is
+     * missing or stale. workingSetTraces (K) and workingSetMinFraction
+     * control how traces merge into the stable set.
+     */
+    bool recordWorkingSet = true;
+    bool prefetchWorkingSet = false;
+    std::size_t prefetchBatchPages = 64;
+    std::size_t workingSetTraces = 3;
+    double workingSetMinFraction = 0.5;
     /** Fraction of each hello-app's modules preloaded by the language
      *  runtime template. */
     double languageTemplateCoreFraction = 0.8;
@@ -125,6 +141,15 @@ class CatalyzerRuntime
     sandbox::BootResult bootRestore(sandbox::FunctionArtifacts &fn,
                                     bool warm,
                                     trace::TraceContext trace = {});
+    /**
+     * Resolve the function's working-set manifest for this boot: fetch
+     * it from the image store if the function has none yet, drop it if
+     * it is stale for @p image, create a fresh one when recording, and
+     * publish it when a new trace was merged since the last boot.
+     */
+    std::shared_ptr<prefetch::WorkingSetManifest>
+    ensureWorkingSet(sandbox::FunctionArtifacts &fn,
+                     const snapshot::FuncImage &image);
     std::shared_ptr<snapshot::FuncImage>
     acquireImage(sandbox::FunctionArtifacts &fn,
                  trace::TraceContext trace = {});

@@ -124,6 +124,15 @@ AddressSpace::resolveBaseAccess(PageIndex page, bool write, bool cold)
 FaultResult
 AddressSpace::touch(PageIndex page, bool write, bool cold)
 {
+    const FaultResult result = resolveTouch(page, write, cold);
+    if (observer_ != nullptr && result != FaultResult::None)
+        observer_->onFault(page, write, result);
+    return result;
+}
+
+FaultResult
+AddressSpace::resolveTouch(PageIndex page, bool write, bool cold)
+{
     if (Pte *pte = table_.lookupMutable(page)) {
         if (!write || pte->writable)
             return FaultResult::None;

@@ -40,6 +40,20 @@ enum class FaultResult
     BaseCow,   ///< write to a base page copied into the Private-EPT
 };
 
+/**
+ * Lightweight observer of resolved page faults (everything touch()
+ * resolves except FaultResult::None). The working-set recorder in
+ * src/prefetch/ implements this to capture the pages an instance
+ * faults between restore and its first response; the hook costs one
+ * pointer test when nobody is listening.
+ */
+class FaultObserver
+{
+  public:
+    virtual ~FaultObserver() = default;
+    virtual void onFault(PageIndex page, bool write, FaultResult result) = 0;
+};
+
 /** One virtual memory area. */
 struct Vma
 {
@@ -141,8 +155,17 @@ class AddressSpace
 
     sim::SimContext &context() { return ctx_; }
 
+    /**
+     * Install (or clear, with nullptr) the fault observer. At most one
+     * observer is supported; it must outlive the space or be cleared
+     * before the space is destroyed. Not inherited across forkCow().
+     */
+    void setFaultObserver(FaultObserver *observer) { observer_ = observer; }
+    FaultObserver *faultObserver() const { return observer_; }
+
   private:
     const Vma *findVma(PageIndex page) const;
+    FaultResult resolveTouch(PageIndex page, bool write, bool cold);
     FaultResult resolveBaseAccess(PageIndex page, bool write, bool cold);
     void installCowCopy(PageIndex page, FrameId src_frame);
 
@@ -152,6 +175,7 @@ class AddressSpace
     std::vector<Vma> vmas_;
     PageTable table_;
     std::shared_ptr<BaseMapping> base_;
+    FaultObserver *observer_ = nullptr;
     PageIndex base_va_start_ = 0;
     PageIndex next_va_ = 0x1000; // leave page 0 unmapped
 };

@@ -41,6 +41,30 @@ BackingFile::frameFor(sim::SimContext &ctx, PageIndex page,
     return frame;
 }
 
+FrameId
+BackingFile::prefetchFrame(sim::SimContext &ctx, PageIndex page,
+                           bool *from_cache)
+{
+    if (page >= npages_)
+        sim::panic("BackingFile %s: prefetch of page %llu beyond EOF "
+                   "(%zu pages)",
+                   name_.c_str(), static_cast<unsigned long long>(page),
+                   npages_);
+    auto it = cache_.find(page);
+    if (it != cache_.end()) {
+        if (from_cache)
+            *from_cache = true;
+        ctx.stats().incr("mem.page_cache_hits");
+        return it->second;
+    }
+    if (from_cache)
+        *from_cache = false;
+    ctx.stats().incr("mem.page_cache_prefetch_fills");
+    const FrameId frame = store_.allocate(FrameSource::PageCache);
+    cache_.emplace(page, frame);
+    return frame;
+}
+
 bool
 BackingFile::resident(PageIndex page) const
 {

@@ -47,6 +47,16 @@ class BackingFile
     FrameId frameFor(sim::SimContext &ctx, PageIndex page,
                      bool assume_cold);
 
+    /**
+     * Page-cache fill for a batched prefetch read: installs the frame
+     * without charging any latency (the prefetcher accounts for the
+     * whole batch as one sequential SSD read). @p from_cache reports
+     * whether the page was already resident, i.e. no storage read was
+     * needed for it.
+     */
+    FrameId prefetchFrame(sim::SimContext &ctx, PageIndex page,
+                          bool *from_cache);
+
     /** True if @p page is already resident in the page cache. */
     bool resident(PageIndex page) const;
 

@@ -39,6 +39,25 @@ BaseMapping::populate(sim::SimContext &ctx, PageIndex page, bool cold)
     return frame;
 }
 
+BaseMapping::PrefetchFill
+BaseMapping::populatePrefetched(sim::SimContext &ctx, PageIndex page)
+{
+    if (page >= npages_)
+        sim::panic("BaseMapping %s: prefetch of page %llu out of range",
+                   name_.c_str(), static_cast<unsigned long long>(page));
+    if (table_.lookup(page) != nullptr)
+        return PrefetchFill::AlreadyResident;
+
+    ctx.stats().incr("mem.base_prefetch_fills");
+    bool from_cache = false;
+    const FrameId frame =
+        file_.prefetchFrame(ctx, file_start_ + page, &from_cache);
+    store_.ref(frame);
+    table_.install(page, Pte{frame, false, false});
+    return from_cache ? PrefetchFill::FromPageCache
+                      : PrefetchFill::FromStorage;
+}
+
 void
 BaseMapping::populateAll(sim::SimContext &ctx, bool cold)
 {

@@ -53,6 +53,22 @@ class BaseMapping
     /** Eagerly populate the full extent (used by eager-restore baselines). */
     void populateAll(sim::SimContext &ctx, bool cold);
 
+    /** Outcome of one prefetch fill. */
+    enum class PrefetchFill
+    {
+        AlreadyResident, ///< nothing to do
+        FromPageCache,   ///< installed, page was in the file's cache
+        FromStorage,     ///< installed, page needed a storage read
+    };
+
+    /**
+     * Populate region-relative @p page for a batched prefetch read.
+     * Unlike populate(), no per-page fault latency is charged — the
+     * prefetcher charges the whole batch as one sequential SSD read —
+     * and the outcome tells it which pages actually hit storage.
+     */
+    PrefetchFill populatePrefetched(sim::SimContext &ctx, PageIndex page);
+
     /** A sandbox attached to / detached from this base. */
     void attach() { ++attach_count_; }
     void detach();

@@ -235,4 +235,32 @@ ServerlessPlatform::teardown(const std::string &function_name)
     idle_.erase(function_name);
 }
 
+std::size_t
+ServerlessPlatform::reclaimFunctionMemory(const std::string &function_name)
+{
+    sandbox::FunctionArtifacts *fn = registry_.find(function_name);
+    if (!fn)
+        return 0;
+    // Live instances still read through the Base-EPT; don't pull it out
+    // from under them.
+    if (runningCount(function_name) > 0)
+        return 0;
+    std::size_t bytes = 0;
+    if (fn->sharedBase) {
+        bytes += fn->sharedBase->residentBytes();
+        fn->sharedBase.reset();
+    }
+    if (fn->separatedImage) {
+        bytes += mem::bytesForPages(
+            fn->separatedImage->file().residentPages());
+        fn->separatedImage->file().evict();
+        // The page cache is gone: the next restore's demand fills pay
+        // storage reads again (unless the prefetcher batches them).
+        fn->firstRestoreDone = false;
+    }
+    if (bytes > 0)
+        machine_.ctx().stats().incr("platform.base_reclaims");
+    return bytes;
+}
+
 } // namespace catalyzer::platform

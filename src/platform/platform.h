@@ -110,6 +110,15 @@ class ServerlessPlatform
     /** Idle (keep-alive) instances across all functions. */
     std::size_t idleCount() const;
 
+    /**
+     * Release a cold function's restore memory: its shared Base-EPT and
+     * func-image page cache. Refused (returns 0) while the function has
+     * live or idle instances attached. Returns the resident bytes
+     * released. The working-set manifest survives, so the next cold
+     * boot prefetches the set back in batched reads.
+     */
+    std::size_t reclaimFunctionMemory(const std::string &function_name);
+
     core::CatalyzerRuntime &catalyzer() { return runtime_; }
     sandbox::FunctionRegistry &registry() { return registry_; }
     sandbox::Machine &machine() { return machine_; }

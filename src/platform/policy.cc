@@ -116,9 +116,23 @@ BootPolicyManager::rebalance()
         }
     }
 
+    // Reclaim the restore artifacts of fully cold functions; prefetch
+    // rebuilds their working set cheaply on the next boot.
+    if (config_.reclaimColdBases) {
+        for (const auto &[name, state] : functions_) {
+            if (state.recentInvocations > 0.0 || state.hasTemplate)
+                continue;
+            if (platform_.reclaimFunctionMemory(name) > 0)
+                ++actions;
+        }
+    }
+
     // Decay the traffic counters.
-    for (auto &[name, state] : functions_)
+    for (auto &[name, state] : functions_) {
         state.recentInvocations *= config_.decay;
+        if (state.recentInvocations < config_.coldFloor)
+            state.recentInvocations = 0.0;
+    }
     return actions;
 }
 

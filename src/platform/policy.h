@@ -39,6 +39,17 @@ struct PolicyConfig
     std::size_t hotThreshold = 4;
     /** Multiplicative decay applied to counters at each rebalance. */
     double decay = 0.5;
+    /** Counters decayed below this snap to zero (the function is cold;
+     *  pure multiplicative decay would otherwise never reach it). */
+    double coldFloor = 0.05;
+    /**
+     * When a function goes fully cold (no traffic, no live instances),
+     * also release its shared Base-EPT and func-image page cache at
+     * rebalance. The working-set prefetcher makes this affordable: the
+     * next cold boot re-loads the recorded working set in a few batched
+     * reads instead of a storm of random demand faults.
+     */
+    bool reclaimColdBases = false;
 };
 
 /**

@@ -46,4 +46,11 @@ FunctionRegistry::artifactsFor(const apps::AppProfile &app)
     return *it->second;
 }
 
+FunctionArtifacts *
+FunctionRegistry::find(const std::string &function_name)
+{
+    auto it = functions_.find(function_name);
+    return it == functions_.end() ? nullptr : it->second.get();
+}
+
 } // namespace catalyzer::sandbox

@@ -19,6 +19,7 @@
 #include "apps/app_profile.h"
 #include "mem/backing_file.h"
 #include "mem/base_mapping.h"
+#include "prefetch/working_set_manifest.h"
 #include "sandbox/machine.h"
 #include "snapshot/func_image.h"
 #include "vfs/fs_server.h"
@@ -53,6 +54,14 @@ class FunctionArtifacts
      */
     std::vector<vfs::IoConnection> ioCache;
 
+    /**
+     * Working-set manifest for REAP-style prefetch: the merged restore
+     * fault traces of this function, bound to the func-image generation
+     * they were recorded against (null until the first restore records
+     * one or it is fetched from the ImageStore).
+     */
+    std::shared_ptr<prefetch::WorkingSetManifest> workingSet;
+
     /** Page-cache warmth: false until something booted this function. */
     bool firstBootDone = false;
     /** False until the func-image was restored once on this machine. */
@@ -75,6 +84,9 @@ class FunctionRegistry
 
     /** Get (building on first use) the artifacts for @p app. */
     FunctionArtifacts &artifactsFor(const apps::AppProfile &app);
+
+    /** Look up deployed artifacts by name; nullptr if unknown. */
+    FunctionArtifacts *find(const std::string &function_name);
 
     std::size_t size() const { return functions_.size(); }
 

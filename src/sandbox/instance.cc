@@ -32,6 +32,9 @@ SandboxInstance::SandboxInstance(Machine &machine, FunctionArtifacts &fn,
 SandboxInstance::~SandboxInstance()
 {
     if (!released_ && proc_) {
+        // Detach the fault observer before the space goes away.
+        if (ws_recorder_)
+            proc_->space().setFaultObserver(nullptr);
         // Drop the rootfs view and guest first, then reap the process
         // (which releases the address space's frames).
         rootfs_.reset();
@@ -127,7 +130,33 @@ SandboxInstance::invoke()
     // point moved into the checkpoint).
     ctx.charge(app.execComputeCost * (1.0 - prep_fraction_));
     ctx.stats().incr("exec.invocations");
+
+    // First response: the restore-to-first-response recording window
+    // (working-set prefetch) closes here.
+    if (invocations_ == 1)
+        finishWorkingSetWindow();
     return watch.elapsed();
+}
+
+void
+SandboxInstance::armWorkingSetRecorder(
+    std::unique_ptr<prefetch::FaultRecorder> recorder)
+{
+    if (ws_recorder_)
+        finishWorkingSetWindow();
+    ws_recorder_ = std::move(recorder);
+    if (ws_recorder_)
+        proc_->space().setFaultObserver(ws_recorder_.get());
+}
+
+void
+SandboxInstance::finishWorkingSetWindow()
+{
+    if (!ws_recorder_)
+        return;
+    ws_recorder_->finish(machine_.ctx().stats());
+    if (proc_)
+        proc_->space().setFaultObserver(nullptr);
 }
 
 void

@@ -12,6 +12,7 @@
 
 #include "guest/guest_kernel.h"
 #include "hostos/process.h"
+#include "prefetch/fault_recorder.h"
 #include "sandbox/function_artifacts.h"
 #include "snapshot/func_image.h"
 #include "vfs/overlay_rootfs.h"
@@ -110,6 +111,26 @@ class SandboxInstance
     std::size_t rssBytes() const { return proc_->space().rssBytes(); }
     double pssBytes() const { return proc_->space().pssBytes(); }
 
+    /**
+     * Attach a working-set recorder observing this instance's faults
+     * from now (restore time) until the end of the first invocation,
+     * when the window closes and the trace/audit is committed.
+     */
+    void
+    armWorkingSetRecorder(std::unique_ptr<prefetch::FaultRecorder> recorder);
+
+    /**
+     * Close the restore-to-first-response window now (normally called
+     * by the first invoke(); exposed for boot paths that never serve a
+     * request, e.g. checkpoint warming). Idempotent.
+     */
+    void finishWorkingSetWindow();
+
+    const prefetch::FaultRecorder *workingSetRecorder() const
+    {
+        return ws_recorder_.get();
+    }
+
   private:
     Machine &machine_;
     FunctionArtifacts &fn_;
@@ -125,6 +146,7 @@ class SandboxInstance
     sim::SimTime boot_latency_;
     std::size_t invocations_ = 0;
     double prep_fraction_ = 0.0;
+    std::unique_ptr<prefetch::FaultRecorder> ws_recorder_;
     bool released_ = false;
 };
 

@@ -122,6 +122,21 @@ struct CostModel
     SimTime networkFetchPerMiB = 850_us;
 
     //
+    // Working-set prefetch (prefetch/), REAP-style batched restore
+    // reads. A batch is one readahead submission covering up to
+    // prefetchBatchPages image pages, so the SSD serves a large
+    // sequential read instead of per-fault 4 KiB random reads
+    // (demandFaultFileCold): setup is paid once per batch and the
+    // per-page transfer rides the device's sequential bandwidth.
+    //
+    /** Submit one batched readahead (request setup + queueing). */
+    SimTime prefetchBatchSetup = 40_us;
+    /** Sequential SSD transfer of one 4 KiB page within a batch. */
+    SimTime prefetchSsdPerPage = 9_us;
+    /** Serialize or parse one working-set manifest. */
+    SimTime workingSetManifestIo = 35_us;
+
+    //
     // Guest kernel / Go runtime (guest/).
     //
     /** Sentry internal data-structure init beyond KVM resources. */

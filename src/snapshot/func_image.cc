@@ -104,6 +104,8 @@ CheckpointEngine::capture(mem::FrameStore &frames,
     auto image = std::shared_ptr<FuncImage>(new FuncImage(
         frames, function_name, format, std::move(state)));
     ctx_.stats().incr("snapshot.images_built");
+    image->generation_ = static_cast<std::uint64_t>(
+        ctx_.stats().value("snapshot.images_built"));
     return image;
 }
 

@@ -94,6 +94,14 @@ class FuncImage
     std::size_t totalPages() const { return file_->npages(); }
 
     /**
+     * Image generation: bumped every time the checkpoint engine builds
+     * an image (user-guided warming, corruption repair, ...). Working-
+     * set manifests are bound to the generation they were recorded
+     * against, so a rebuilt image makes stale manifests detectable.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    /**
      * Integrity state. markCorrupted() simulates storage rot / a torn
      * write; verifyImage() (image_store.h) detects it and restore paths
      * refuse to use the image.
@@ -115,6 +123,7 @@ class FuncImage
     std::unique_ptr<objgraph::ProtoImage> proto_;
     std::unique_ptr<objgraph::SeparatedImage> separated_;
     bool corrupted_ = false;
+    std::uint64_t generation_ = 0;
 };
 
 /**

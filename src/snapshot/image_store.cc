@@ -61,6 +61,34 @@ ImageStore::evictLocal(const std::string &function_name,
     local_.erase(key(function_name, format));
 }
 
+void
+ImageStore::publishManifest(const prefetch::WorkingSetManifest &manifest)
+{
+    manifests_[manifest.functionName()] = manifest.serialize();
+    ctx_.stats().incr("snapshot.manifests_published");
+}
+
+std::shared_ptr<prefetch::WorkingSetManifest>
+ImageStore::fetchManifest(const std::string &function_name)
+{
+    auto it = manifests_.find(function_name);
+    if (it == manifests_.end())
+        return nullptr;
+    ctx_.chargeCounted("snapshot.manifest_fetches",
+                       ctx_.costs().workingSetManifestIo);
+    auto manifest = prefetch::WorkingSetManifest::deserialize(it->second);
+    if (!manifest)
+        sim::warn("ImageStore: malformed working-set manifest for %s",
+                  function_name.c_str());
+    return manifest;
+}
+
+void
+ImageStore::dropManifest(const std::string &function_name)
+{
+    manifests_.erase(function_name);
+}
+
 bool
 verifyImage(sim::SimContext &ctx, const FuncImage &image)
 {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "prefetch/working_set_manifest.h"
 #include "sim/context.h"
 #include "snapshot/func_image.h"
 
@@ -56,12 +57,39 @@ class ImageStore
     std::size_t publishedCount() const { return remote_.size(); }
     std::size_t localCount() const { return local_.size(); }
 
+    /**
+     * Store a function's working-set manifest alongside its func-image
+     * (serialized form; replaces any previous one). Publication is
+     * asynchronous background work, so no boot-path latency is charged.
+     */
+    void publishManifest(const prefetch::WorkingSetManifest &manifest);
+
+    /**
+     * Fetch and parse the working-set manifest stored for
+     * @p function_name; nullptr if none (or the blob is malformed).
+     * Charges the manifest parse cost.
+     */
+    std::shared_ptr<prefetch::WorkingSetManifest>
+    fetchManifest(const std::string &function_name);
+
+    bool hasManifest(const std::string &function_name) const
+    {
+        return manifests_.contains(function_name);
+    }
+
+    /** Drop a stored manifest (stale after an image rebuild). */
+    void dropManifest(const std::string &function_name);
+
+    std::size_t manifestCount() const { return manifests_.size(); }
+
   private:
     static std::string key(const std::string &name, ImageFormat format);
 
     sim::SimContext &ctx_;
     std::map<std::string, std::shared_ptr<FuncImage>> remote_;
     std::map<std::string, std::shared_ptr<FuncImage>> local_;
+    /** Serialized working-set manifests, keyed by function name. */
+    std::map<std::string, std::string> manifests_;
 };
 
 /**
