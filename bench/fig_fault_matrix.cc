@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fault matrix (extension): boot latency under injected boot-path
+ * faults, and the graceful-degradation chain that absorbs them.
+ *
+ * Part 1 sweeps a uniform per-site failure probability across every
+ * fault site (remote fetch, image/manifest corruption, I/O reconnect,
+ * zygote build, template death, sfork) and reports p50/p99 boot latency
+ * plus fallback and injection counts. Failures cost retries, backoff
+ * and tier degradation, so the latency tail must grow monotonically
+ * with the failure rate — the harness self-checks that.
+ *
+ * Part 2 scripts deterministic fault bursts to walk one request down
+ * each edge of the fallback chain (sfork -> warm -> cold -> fresh) and
+ * prints which tier served each request, verifying every degradation
+ * edge fires at least once.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "catalyzer/runtime.h"
+#include "platform/platform.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+
+namespace {
+
+constexpr const char *kApps[] = {"python-hello", "c-nginx"};
+constexpr int kRequestsPerApp = 200;
+
+struct SweepRow
+{
+    double rate = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    std::int64_t fallbacks = 0;
+    std::int64_t injected = 0;
+    std::int64_t retries = 0;
+};
+
+SweepRow
+runRate(double rate)
+{
+    sandbox::Machine machine(42);
+    platform::PlatformConfig config;
+    config.strategy = platform::BootStrategy::CatalyzerAuto;
+    config.retainInstances = false; // every request boots
+    core::CatalyzerOptions options;
+    options.remoteImages = true;
+    options.verifyImages = true;
+    options.faults.setAllRates(rate);
+    platform::ServerlessPlatform plat(machine, config, options);
+
+    sim::LatencySeries boots;
+    SweepRow row;
+    row.rate = rate;
+    for (const char *app : kApps) {
+        plat.prepare(apps::appByName(app));
+        for (int i = 0; i < kRequestsPerApp; ++i) {
+            const platform::InvocationRecord record = plat.invoke(app);
+            boots.add(record.bootLatency);
+            row.fallbacks += record.tierFallbacks;
+        }
+    }
+    row.p50Ms = boots.percentile(50.0);
+    row.p99Ms = boots.percentile(99.0);
+
+    auto &faults = plat.catalyzer().faults();
+    auto &stats = machine.ctx().stats();
+    for (std::size_t i = 0; i < faults::kFaultSiteCount; ++i) {
+        const auto site = static_cast<faults::FaultSite>(i);
+        row.injected +=
+            static_cast<std::int64_t>(faults.injected(site));
+        row.retries += stats.value(std::string("faults.retries.") +
+                                   faults::faultSiteName(site));
+    }
+    return row;
+}
+
+/** Part 2: deterministically force each fallback edge once. */
+bool
+runScriptedChain()
+{
+    sandbox::Machine machine(42);
+    platform::PlatformConfig config;
+    config.strategy = platform::BootStrategy::CatalyzerAuto;
+    config.retainInstances = false;
+    core::CatalyzerOptions options;
+    options.remoteImages = true;
+    options.zygotePrewarm = 0; // zygote builds sit on the warm path
+    platform::ServerlessPlatform plat(machine, config, options);
+    const apps::AppProfile &app = apps::appByName("python-hello");
+    plat.prepare(app);
+    auto &faults = plat.catalyzer().faults();
+    const auto burst =
+        static_cast<std::uint64_t>(faults.retry().maxAttempts);
+
+    struct Step
+    {
+        const char *label;
+        const char *app;
+        faults::FaultSite site;
+        const char *expectTier;
+    };
+    // The dead template stays dead until re-prepared, so each scenario
+    // on the prepared app starts from the degraded entry tier it
+    // expects; the fetch outage uses a never-booted app whose first
+    // boot must enter at the cold tier and fetch from remote storage.
+    const Step steps[] = {
+        {"healthy", app.name.c_str(), faults::FaultSite::Sfork,
+         "sfork"}, // no burst
+        {"template dies", app.name.c_str(),
+         faults::FaultSite::TemplateDeath, "warm"},
+        {"zygote builds fail", app.name.c_str(),
+         faults::FaultSite::ZygoteBuild, "cold"},
+        {"image fetch outage", "c-nginx", faults::FaultSite::ImageFetch,
+         "fresh"},
+    };
+
+    sim::TextTable table("Scripted fault bursts (one request each)");
+    table.setHeader({"scenario", "tier served", "fallbacks",
+                     "boot ms"});
+    bool ok = true;
+    for (const Step &step : steps) {
+        if (std::string(step.label) != "healthy")
+            faults.failNext(step.site, burst);
+        const platform::InvocationRecord record = plat.invoke(step.app);
+        table.addRow({step.label, record.tierServed,
+                      std::to_string(record.tierFallbacks),
+                      sim::fmtMs(record.bootLatency.toMs())});
+        if (record.tierServed != step.expectTier)
+            ok = false;
+    }
+    table.print();
+
+    // Every degradation edge of the chain must have fired.
+    auto &stats = machine.ctx().stats();
+    for (const char *edge :
+         {"boot.fallback.sfork_warm", "boot.fallback.warm_cold",
+          "boot.fallback.cold_fresh"}) {
+        if (stats.value(edge) <= 0) {
+            std::fprintf(stderr, "FAIL: %s never fired\n", edge);
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fault matrix (extension)",
+                  "Boot latency vs injected boot-path failure rate, and "
+                  "the sfork -> warm -> cold -> fresh fallback chain.");
+
+    const double rates[] = {0.0, 0.01, 0.05, 0.10, 0.20};
+    std::vector<SweepRow> rows;
+    for (double rate : rates)
+        rows.push_back(runRate(rate));
+
+    sim::TextTable table(
+        std::string("Uniform failure rate at every fault site, ") +
+        std::to_string(kRequestsPerApp) + " requests x 2 apps, "
+        "Catalyzer-auto with remote verified images");
+    table.setHeader({"rate", "boot p50", "boot p99", "fallbacks",
+                     "injections", "retries"});
+    char buf[32];
+    for (const SweepRow &row : rows) {
+        std::snprintf(buf, sizeof buf, "%.0f%%", row.rate * 100.0);
+        table.addRow({buf, sim::fmtMs(row.p50Ms), sim::fmtMs(row.p99Ms),
+                      std::to_string(row.fallbacks),
+                      std::to_string(row.injected),
+                      std::to_string(row.retries)});
+    }
+    table.print();
+    std::printf("\n");
+
+    bool ok = runScriptedChain();
+
+    // Self-checks for CI smoke runs.
+    if (rows.front().injected != 0 || rows.front().fallbacks != 0) {
+        std::fprintf(stderr,
+                     "FAIL: rate 0%% must inject nothing (pay-for-use)\n");
+        ok = false;
+    }
+    if (rows.back().injected == 0) {
+        std::fprintf(stderr, "FAIL: rate 20%% injected nothing\n");
+        ok = false;
+    }
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        if (rows[i].p99Ms + 1e-9 < rows[i - 1].p99Ms) {
+            std::fprintf(stderr,
+                         "FAIL: boot p99 not monotone: %.3f ms at "
+                         "%.0f%% < %.3f ms at %.0f%%\n",
+                         rows[i].p99Ms, rows[i].rate * 100.0,
+                         rows[i - 1].p99Ms, rows[i - 1].rate * 100.0);
+            ok = false;
+        }
+    }
+    if (!ok)
+        return 1;
+
+    std::printf("\nboot p99 grows monotonically with the failure rate; "
+                "every fallback edge fired.\n");
+    bench::footer();
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "catalyzer/runtime.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "guest/syscall_policy.h"
@@ -19,9 +20,13 @@ using sandbox::SandboxInstance;
 
 CatalyzerRuntime::CatalyzerRuntime(sandbox::Machine &machine,
                                    CatalyzerOptions options)
-    : machine_(machine), options_(options), zygotes_(machine),
-      images_(machine.ctx()), lang_registry_(machine)
+    : machine_(machine), options_(options),
+      injector_(options.faults, &machine.ctx().clock()),
+      zygotes_(machine), images_(machine.ctx()),
+      lang_registry_(machine)
 {
+    zygotes_.setFaultInjector(&injector_);
+    images_.setFaultInjector(&injector_);
     if (options_.useZygote && options_.zygotePrewarm > 0)
         zygotes_.prewarm(options_.zygotePrewarm);
 }
@@ -55,6 +60,33 @@ CatalyzerRuntime::bootWarm(FunctionArtifacts &fn,
 }
 
 std::shared_ptr<snapshot::FuncImage>
+CatalyzerRuntime::fetchRemoteImage(FunctionArtifacts &fn)
+{
+    auto &ctx = machine_.ctx();
+    const auto format = snapshot::ImageFormat::SeparatedWellFormed;
+    const faults::RetryPolicy &retry = injector_.retry();
+    const int max_attempts = std::max(1, retry.maxAttempts);
+    for (int attempt = 1;; ++attempt) {
+        auto image = images_.fetch(fn.app().name, format);
+        if (image)
+            return image;
+        if (!images_.publishedRemotely(fn.app().name, format))
+            sim::panic("fetchRemoteImage: %s was never published",
+                       fn.app().name.c_str());
+        // Injected transfer failure (the store already charged the
+        // attempt timeout); back off and retry until the budget runs
+        // out, then fail the restore tier.
+        if (attempt >= max_attempts)
+            throw faults::FaultError(
+                faults::FaultSite::ImageFetch,
+                "remote fetch of " + fn.app().name + " failed after " +
+                    std::to_string(max_attempts) + " attempts");
+        ctx.stats().incr("catalyzer.image_fetch_retries");
+        ctx.charge(retry.backoff(attempt, injector_.rng()));
+    }
+}
+
+std::shared_ptr<snapshot::FuncImage>
 CatalyzerRuntime::acquireImage(FunctionArtifacts &fn,
                                trace::TraceContext trace)
 {
@@ -72,23 +104,49 @@ CatalyzerRuntime::acquireImage(FunctionArtifacts &fn,
             images_.evictLocal(fn.app().name,
                                snapshot::ImageFormat::SeparatedWellFormed);
         }
-        image = images_.fetch(fn.app().name,
-                              snapshot::ImageFormat::SeparatedWellFormed);
+        image = fetchRemoteImage(fn);
     }
 
-    if (options_.verifyImages &&
-        !snapshot::verifyImage(ctx, *image)) {
-        // Corrupted image: rebuild from a fresh checkpoint (offline) and
-        // republish, then continue with the clean copy.
-        ctx.stats().incr("catalyzer.image_rebuilds");
-        fn.separatedImage.reset();
-        // Any Base-EPT over the bad image must not serve new boots;
-        // live instances keep their shared_ptr until they exit.
-        fn.sharedBase.reset();
-        fn.firstRestoreDone = false;
-        image = sandbox::ensureSeparatedImage(fn);
-        if (options_.remoteImages)
-            images_.publish(image);
+    if (options_.verifyImages) {
+        const int max_rebuilds =
+            std::max(1, injector_.retry().maxAttempts);
+        for (int rebuild = 0;; ++rebuild) {
+            // Injected storage rot hits the image just before the
+            // integrity check would catch it.
+            if (injector_.shouldFail(faults::FaultSite::ImageCorruption,
+                                     ctx.stats()))
+                image->markCorrupted();
+            if (snapshot::verifyImage(ctx, *image))
+                break;
+            if (rebuild >= max_rebuilds)
+                throw faults::FaultError(
+                    faults::FaultSite::ImageCorruption,
+                    fn.app().name + " image still corrupted after " +
+                        std::to_string(max_rebuilds) + " rebuilds");
+            // Corrupted image: rebuild from a fresh checkpoint
+            // (offline) and republish, then continue with the clean
+            // copy.
+            ctx.stats().incr("catalyzer.image_rebuilds");
+            fn.separatedImage.reset();
+            // Any Base-EPT over the bad image must not serve new boots;
+            // live instances keep their shared_ptr until they exit.
+            fn.sharedBase.reset();
+            fn.firstRestoreDone = false;
+            image = sandbox::ensureSeparatedImage(fn);
+            if (options_.remoteImages) {
+                // Symmetric with the initial-publish path: the rebuilt
+                // image goes to remote storage and this machine pays
+                // the re-fetch, it does not keep the locally built
+                // copy for free.
+                images_.publish(image);
+                images_.evictLocal(
+                    fn.app().name,
+                    snapshot::ImageFormat::SeparatedWellFormed);
+                image = fetchRemoteImage(fn);
+                ctx.stats().incr(
+                    "catalyzer.image_refetch_after_rebuild");
+            }
+        }
     }
     return image;
 }
@@ -359,9 +417,11 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm,
             inst->guest().io().find(id)->established = false;
         }
         if (!options_.lazyIoReconnection) {
+            // Eager ablation: a connection whose retries all fail stays
+            // down and re-establishes lazily at the first request.
             for (auto &conn : inst->guest().io().all())
-                snapshot::reconnectConnection(ctx, conn, &fn.fsServer(),
-                                              ictx);
+                snapshot::reconnectWithRetry(ctx, conn, &fn.fsServer(),
+                                             &injector_, ictx);
         } else {
             // Deferring is not free: each fd is tagged not-reopened and
             // the async re-establishment is queued.
@@ -373,9 +433,25 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm,
                 // uses right after boot; re-establish exactly those on
                 // the path.
                 for (auto &conn : inst->guest().io().all()) {
-                    if (conn.usedAtStartup)
-                        snapshot::reconnectConnection(
-                            ctx, conn, &fn.fsServer(), ictx);
+                    if (!conn.usedAtStartup)
+                        continue;
+                    if (!snapshot::reconnectWithRetry(
+                            ctx, conn, &fn.fsServer(), &injector_,
+                            ictx)) {
+                        // Repeatedly failing entry: invalidate it so
+                        // later boots stop reconnecting it eagerly;
+                        // this boot degrades it to a lazy reconnect at
+                        // the first request.
+                        std::erase_if(
+                            fn.ioCache,
+                            [&](const vfs::IoConnection &cached) {
+                                return cached.path == conn.path;
+                            });
+                        ctx.stats().incr(
+                            "catalyzer.io_cache_invalidated");
+                        ctx.stats().incr(
+                            "boot.fallback.io_eager_lazy");
+                    }
                 }
                 span.attr("cache_hit", "true");
                 ctx.stats().incr("catalyzer.io_cache_hits");
@@ -418,6 +494,10 @@ CatalyzerRuntime::sforkFrom(SandboxInstance &tmpl, FunctionArtifacts &fn,
     auto &ctx = machine_.ctx();
     const auto &costs = ctx.costs();
     sim::Stopwatch watch(ctx.clock());
+
+    // Injected sfork failures fail before the child exists; retries are
+    // cheap, and exhaustion fails the fork tier (degrades to warm).
+    injector_.checkWithRetry(ctx, faults::FaultSite::Sfork);
 
     hostos::SforkOptions opts;
     opts.childName = fn.app().name + "-" + tag;
@@ -479,6 +559,16 @@ CatalyzerRuntime::bootFork(FunctionArtifacts &fn,
                            trace::TraceContext trace)
 {
     SandboxInstance &tmpl = ensureTemplate(fn); // offline
+    if (injector_.shouldFail(faults::FaultSite::TemplateDeath,
+                             machine_.ctx().stats())) {
+        // The template sandbox died (crash, OOM-kill). No retry makes
+        // sense — drop it so a later fork boot rebuilds it offline, and
+        // fail the fork tier now (degrades to warm).
+        dropTemplate(fn.app().name);
+        machine_.ctx().stats().incr("catalyzer.template_deaths");
+        throw faults::FaultError(faults::FaultSite::TemplateDeath,
+                                 fn.app().name + " template died");
+    }
     trace::ScopedSpan boot_span(trace, "boot/Catalyzer-sfork");
     boot_span.attr("function", fn.app().name);
     BootResult result;
@@ -586,9 +676,11 @@ CatalyzerRuntime::ensureTemplate(FunctionArtifacts &fn)
     // transient single-thread state for sforking.
     BootResult boot = bootRestore(fn, /*warm=*/false);
     std::unique_ptr<SandboxInstance> tmpl = std::move(boot.instance);
+    // Offline bring-up tolerates reconnect faults: a connection whose
+    // retries fail stays down and children reconnect it lazily.
     for (auto &conn : tmpl->guest().io().all())
-        snapshot::reconnectConnection(machine_.ctx(), conn,
-                                      &fn.fsServer());
+        snapshot::reconnectWithRetry(machine_.ctx(), conn,
+                                     &fn.fsServer(), &injector_);
     tmpl->guest().threads().enterTransientSingleThread();
     tmpl->proc().setThreadCount(1);
     machine_.ctx().stats().incr("catalyzer.templates_built");
@@ -618,8 +710,8 @@ CatalyzerRuntime::ensureLanguageTemplate(apps::Language lang)
     BootResult boot = bootRestore(base_fn, /*warm=*/false);
     std::unique_ptr<SandboxInstance> tmpl = std::move(boot.instance);
     for (auto &conn : tmpl->guest().io().all())
-        snapshot::reconnectConnection(machine_.ctx(), conn,
-                                      &base_fn.fsServer());
+        snapshot::reconnectWithRetry(machine_.ctx(), conn,
+                                     &base_fn.fsServer(), &injector_);
     tmpl->guest().threads().enterTransientSingleThread();
     tmpl->proc().setThreadCount(1);
     machine_.ctx().stats().incr("catalyzer.lang_templates_built");

@@ -21,6 +21,7 @@
 
 #include "apps/app_profile.h"
 #include "catalyzer/zygote.h"
+#include "faults/fault_injector.h"
 #include "sandbox/function_artifacts.h"
 #include "sandbox/pipelines.h"
 #include "snapshot/image_store.h"
@@ -66,6 +67,14 @@ struct CatalyzerOptions
      *  runtime template. */
     double languageTemplateCoreFraction = 0.8;
     std::size_t zygotePrewarm = 4;
+    /**
+     * Fault injection (src/faults/): per-site failure probabilities or
+     * scripted virtual-clock windows, plus the retry/backoff policy the
+     * boot paths use to survive them. All-zero by default, and strictly
+     * pay-for-use: with no faults configured the injector never draws
+     * randomness, charges latency, or creates counters.
+     */
+    faults::FaultConfig faults;
 };
 
 /** One Catalyzer deployment on a machine. */
@@ -133,6 +142,9 @@ class CatalyzerRuntime
     const CatalyzerOptions &options() const { return options_; }
     sandbox::Machine &machine() { return machine_; }
 
+    /** The machine's fault source (script failures via failNext()). */
+    faults::FaultInjector &faults() { return injector_; }
+
     /** The function's template instance, if prepared. */
     sandbox::SandboxInstance *
     templateFor(const std::string &function_name);
@@ -153,6 +165,14 @@ class CatalyzerRuntime
     std::shared_ptr<snapshot::FuncImage>
     acquireImage(sandbox::FunctionArtifacts &fn,
                  trace::TraceContext trace = {});
+    /**
+     * Fetch the function's published image from remote storage,
+     * retrying injected transfer failures with backoff; throws
+     * faults::FaultError once the retry budget is exhausted (the
+     * restore tier then degrades to a fresh boot).
+     */
+    std::shared_ptr<snapshot::FuncImage>
+    fetchRemoteImage(sandbox::FunctionArtifacts &fn);
     std::unique_ptr<sandbox::SandboxInstance>
     sforkFrom(sandbox::SandboxInstance &tmpl,
               sandbox::FunctionArtifacts &fn, sandbox::BootReport &report,
@@ -163,6 +183,7 @@ class CatalyzerRuntime
 
     sandbox::Machine &machine_;
     CatalyzerOptions options_;
+    faults::FaultInjector injector_;
     ZygotePool zygotes_;
     snapshot::ImageStore images_;
     std::map<std::string, std::unique_ptr<sandbox::SandboxInstance>>

@@ -25,6 +25,11 @@ ZygotePool::build(trace::TraceContext trace)
 
     trace::ScopedSpan span(trace, "zygote-build");
 
+    // Injected build failures: each failed attempt burns its timeout and
+    // backs off; exhausting the budget aborts this build entirely.
+    if (injector_ != nullptr)
+        injector_->checkWithRetry(ctx, faults::FaultSite::ZygoteBuild);
+
     // Parse the *base* configuration and spawn the sandbox process.
     ctx.charge(costs.parseConfig);
     Zygote z;
@@ -58,15 +63,30 @@ void
 ZygotePool::prewarm(std::size_t n)
 {
     target_ = std::max(target_, n);
-    for (std::size_t i = 0; i < n; ++i)
-        pool_.push_back(build());
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            pool_.push_back(build());
+        } catch (const faults::FaultError &) {
+            // The offline builder hit a persistent fault; stop this
+            // round — replenish() after later requests tops the pool
+            // back up once the fault clears.
+            machine_.ctx().stats().incr("catalyzer.zygote_build_aborts");
+            break;
+        }
+    }
 }
 
 void
 ZygotePool::replenish()
 {
-    while (pool_.size() < target_)
-        pool_.push_back(build());
+    while (pool_.size() < target_) {
+        try {
+            pool_.push_back(build());
+        } catch (const faults::FaultError &) {
+            machine_.ctx().stats().incr("catalyzer.zygote_build_aborts");
+            break;
+        }
+    }
 }
 
 Zygote
@@ -78,7 +98,6 @@ ZygotePool::acquire(trace::TraceContext trace)
         machine_.ctx().stats().incr("catalyzer.zygote_hits");
         return z;
     }
-    ++misses_;
     machine_.ctx().stats().incr("catalyzer.zygote_misses");
     return build(trace);
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "guest/guest_kernel.h"
 #include "hostos/kvm.h"
 #include "hostos/process.h"
@@ -52,7 +53,10 @@ class ZygotePool
     /**
      * Take a Zygote (cached if available, else built now). A cache miss
      * puts the build on the critical path; with an enabled @p trace the
-     * miss shows up as a "zygote-build" child span.
+     * miss shows up as a "zygote-build" child span. Under fault
+     * injection a miss-path build retries per the injector's policy and
+     * throws faults::FaultError once the budget is exhausted (the warm
+     * tier then degrades to cold).
      */
     Zygote acquire(trace::TraceContext trace = {});
 
@@ -66,18 +70,31 @@ class ZygotePool
     void setTarget(std::size_t n) { target_ = n; }
     std::size_t target() const { return target_; }
 
+    /** Make builds consult @p injector; nullptr disables injection. */
+    void setFaultInjector(faults::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
     std::size_t cached() const { return pool_.size(); }
     std::size_t built() const { return built_; }
-    std::size_t misses() const { return misses_; }
+
+    /** Cache misses. The StatRegistry counter catalyzer.zygote_misses is
+     *  the single source of truth, so this resets with the registry. */
+    std::size_t misses() const
+    {
+        return static_cast<std::size_t>(
+            machine_.ctx().stats().value("catalyzer.zygote_misses"));
+    }
 
   private:
     Zygote build(trace::TraceContext trace = {});
 
     sandbox::Machine &machine_;
+    faults::FaultInjector *injector_ = nullptr;
     std::vector<Zygote> pool_;
     std::size_t target_ = 0;
     std::size_t built_ = 0;
-    std::size_t misses_ = 0;
 };
 
 } // namespace catalyzer::core

@@ -1,0 +1,127 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace catalyzer::faults {
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::ImageFetch:
+        return "image_fetch";
+    case FaultSite::ImageCorruption:
+        return "image_corruption";
+    case FaultSite::ManifestCorruption:
+        return "manifest_corruption";
+    case FaultSite::IoReconnect:
+        return "io_reconnect";
+    case FaultSite::ZygoteBuild:
+        return "zygote_build";
+    case FaultSite::TemplateDeath:
+        return "template_death";
+    case FaultSite::Sfork:
+        return "sfork";
+    }
+    sim::panic("faultSiteName: bad site %d", static_cast<int>(site));
+}
+
+sim::SimTime
+RetryPolicy::backoff(int attempt, sim::Rng &rng) const
+{
+    if (attempt < 1)
+        attempt = 1;
+    double ns = static_cast<double>(initialBackoff.toNs()) *
+                std::pow(backoffMultiplier, attempt - 1);
+    ns = std::min(ns, static_cast<double>(maxBackoff.toNs()));
+    if (jitterFraction > 0.0)
+        ns *= rng.uniform(1.0 - jitterFraction, 1.0 + jitterFraction);
+    return sim::SimTime::nanoseconds(static_cast<std::int64_t>(ns));
+}
+
+FaultInjector::FaultInjector(FaultConfig config,
+                             const sim::VirtualClock *clock)
+    : config_(std::move(config)), clock_(clock), rng_(config_.seed)
+{}
+
+bool
+FaultInjector::enabled() const
+{
+    for (double p : config_.probability)
+        if (p > 0.0)
+            return true;
+    if (!config_.schedule.empty())
+        return true;
+    for (std::uint64_t n : pending_)
+        if (n > 0)
+            return true;
+    return false;
+}
+
+void
+FaultInjector::failNext(FaultSite site, std::uint64_t n)
+{
+    pending_[static_cast<std::size_t>(site)] += n;
+}
+
+void
+FaultInjector::record(FaultSite site, sim::StatRegistry &stats)
+{
+    ++injected_[static_cast<std::size_t>(site)];
+    stats.incr(std::string("faults.injected.") + faultSiteName(site));
+    sim::debugLog("fault injected at %s (#%llu)", faultSiteName(site),
+                  static_cast<unsigned long long>(
+                      injected_[static_cast<std::size_t>(site)]));
+}
+
+bool
+FaultInjector::shouldFail(FaultSite site, sim::StatRegistry &stats)
+{
+    const std::size_t i = static_cast<std::size_t>(site);
+    if (pending_[i] > 0) {
+        --pending_[i];
+        record(site, stats);
+        return true;
+    }
+    if (!config_.schedule.empty() && clock_ != nullptr) {
+        const sim::SimTime now = clock_->now();
+        for (ScheduledFault &entry : config_.schedule) {
+            if (entry.site != site || entry.budget == 0)
+                continue;
+            if (now >= entry.from && now < entry.until) {
+                --entry.budget;
+                record(site, stats);
+                return true;
+            }
+        }
+    }
+    const double p = config_.probability[i];
+    if (p > 0.0 && rng_.chance(p)) {
+        record(site, stats);
+        return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::checkWithRetry(sim::SimContext &ctx, FaultSite site)
+{
+    const int max_attempts = std::max(1, config_.retry.maxAttempts);
+    for (int attempt = 1; shouldFail(site, ctx.stats()); ++attempt) {
+        ctx.charge(config_.retry.attemptTimeout);
+        if (attempt >= max_attempts)
+            throw FaultError(site,
+                             std::string(faultSiteName(site)) +
+                                 " failed after " +
+                                 std::to_string(max_attempts) +
+                                 " attempts");
+        ctx.stats().incr(std::string("faults.retries.") +
+                         faultSiteName(site));
+        ctx.charge(config_.retry.backoff(attempt, rng_));
+    }
+}
+
+} // namespace catalyzer::faults

@@ -86,6 +86,7 @@ Cluster::invoke(const std::string &function_name,
     out.machineIndex = target;
     out.record =
         nodes_[target].platform->invoke(function_name, span.context());
+    span.attr("tier", out.record.tierServed);
     return out;
 }
 

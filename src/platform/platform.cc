@@ -1,5 +1,8 @@
 #include "platform/platform.h"
 
+#include <algorithm>
+
+#include "faults/fault_injector.h"
 #include "sim/clock.h"
 #include "sim/logging.h"
 
@@ -8,6 +11,25 @@ namespace catalyzer::platform {
 using sandbox::BootResult;
 using sandbox::FunctionArtifacts;
 using sandbox::SandboxInstance;
+
+namespace {
+
+/** Catalyzer fallback-chain tiers, fastest first. */
+enum BootTier { kTierSfork = 0, kTierWarm, kTierCold, kTierFresh };
+
+const char *
+bootTierName(int tier)
+{
+    switch (tier) {
+      case kTierSfork: return "sfork";
+      case kTierWarm: return "warm";
+      case kTierCold: return "cold";
+      case kTierFresh: return "fresh";
+    }
+    sim::panic("bootTierName: bad tier %d", tier);
+}
+
+} // namespace
 
 const char *
 bootStrategyName(BootStrategy strategy)
@@ -54,7 +76,16 @@ ServerlessPlatform::prepare(const apps::AppProfile &app)
         break;
       case BootStrategy::CatalyzerFork:
       case BootStrategy::CatalyzerAuto:
-        runtime_.prepareTemplate(fn);
+        try {
+            runtime_.prepareTemplate(fn);
+        } catch (const faults::FaultError &err) {
+            // Offline preparation hit a persistent fault; serve
+            // degraded (warm/cold) until a later fork boot rebuilds
+            // the template.
+            machine_.ctx().stats().incr("platform.prepare_failures");
+            sim::warn("prepare(%s) failed: %s", app.name.c_str(),
+                      err.what());
+        }
         break;
       default:
         break; // fresh-boot systems need no preparation
@@ -62,10 +93,57 @@ ServerlessPlatform::prepare(const apps::AppProfile &app)
 }
 
 BootResult
+ServerlessPlatform::bootChain(FunctionArtifacts &fn, int tier,
+                              InvocationRecord &record,
+                              trace::TraceContext trace)
+{
+    auto &stats = machine_.ctx().stats();
+    for (;; ++tier) {
+        try {
+            BootResult result;
+            switch (tier) {
+              case kTierSfork:
+                result = runtime_.bootFork(fn, trace);
+                break;
+              case kTierWarm:
+                result = runtime_.bootWarm(fn, trace);
+                break;
+              case kTierCold:
+                result = runtime_.bootCold(fn, trace);
+                break;
+              default:
+                // Last resort: boot the sandbox from scratch. No fault
+                // site can fail it, so the chain always terminates.
+                result = sandbox::bootSandbox(
+                    sandbox::SandboxSystem::GVisor, fn, trace);
+                break;
+            }
+            record.tierServed = bootTierName(std::min(
+                tier, static_cast<int>(kTierFresh)));
+            stats.observeMs("boot.tier_served",
+                            static_cast<double>(tier));
+            return result;
+        } catch (const faults::FaultError &err) {
+            // Degrade one tier instead of failing the request.
+            const std::string from = bootTierName(tier);
+            const std::string to = bootTierName(tier + 1);
+            stats.incr("boot.fallback." + from + "_" + to);
+            ++record.tierFallbacks;
+            sim::debugLog("boot tier %s failed for %s (%s): "
+                          "falling back to %s",
+                          from.c_str(), fn.app().name.c_str(),
+                          err.what(), to.c_str());
+        }
+    }
+}
+
+BootResult
 ServerlessPlatform::bootNew(FunctionArtifacts &fn,
+                            InvocationRecord &record,
                             trace::TraceContext trace)
 {
     using sandbox::SandboxSystem;
+    record.tierServed = bootStrategyName(config_.strategy);
     switch (config_.strategy) {
       case BootStrategy::Docker:
         return sandbox::bootSandbox(SandboxSystem::Docker, fn, trace);
@@ -81,17 +159,17 @@ ServerlessPlatform::bootNew(FunctionArtifacts &fn,
         return sandbox::bootSandbox(SandboxSystem::GVisorRestore, fn,
                                     trace);
       case BootStrategy::CatalyzerCold:
-        return runtime_.bootCold(fn, trace);
+        return bootChain(fn, kTierCold, record, trace);
       case BootStrategy::CatalyzerWarm:
-        return runtime_.bootWarm(fn, trace);
+        return bootChain(fn, kTierWarm, record, trace);
       case BootStrategy::CatalyzerFork:
-        return runtime_.bootFork(fn, trace);
+        return bootChain(fn, kTierSfork, record, trace);
       case BootStrategy::CatalyzerAuto:
         if (runtime_.templateFor(fn.app().name))
-            return runtime_.bootFork(fn, trace);
+            return bootChain(fn, kTierSfork, record, trace);
         if (fn.sharedBase)
-            return runtime_.bootWarm(fn, trace);
-        return runtime_.bootCold(fn, trace);
+            return bootChain(fn, kTierWarm, record, trace);
+        return bootChain(fn, kTierCold, record, trace);
     }
     sim::panic("unreachable boot strategy");
 }
@@ -128,15 +206,17 @@ ServerlessPlatform::invoke(const std::string &function_name,
         idle.pop_back();
         record.reusedInstance = true;
         record.bootKind = inst->bootKind();
+        record.tierServed = "reused";
         invoke_span.attr("reused", "true");
         ctx.stats().incr("platform.instance_reuses");
     } else {
-        BootResult boot = bootNew(fn, tctx);
+        BootResult boot = bootNew(fn, record, tctx);
         inst = std::move(boot.instance);
         record.bootKind = inst->bootKind();
         record.bootLatency = inst->bootLatency();
         ctx.stats().incr("platform.boots");
     }
+    invoke_span.attr("tier", record.tierServed);
 
     // Execute the handler.
     {

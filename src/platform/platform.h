@@ -51,6 +51,15 @@ struct InvocationRecord
     std::string function;
     sandbox::BootKind bootKind = sandbox::BootKind::ColdFresh;
     bool reusedInstance = false;
+    /**
+     * Boot tier that actually served the request after any fault-driven
+     * degradation: "sfork", "warm", "cold" or "fresh" for the Catalyzer
+     * strategies, the strategy name for the fresh-boot baselines, and
+     * "reused" for keep-alive hits.
+     */
+    std::string tierServed;
+    /** Fault-driven tier degradations this boot went through. */
+    int tierFallbacks = 0;
     sim::SimTime gatewayLatency;
     sim::SimTime bootLatency;
     sim::SimTime execLatency;
@@ -126,7 +135,18 @@ class ServerlessPlatform
 
   private:
     sandbox::BootResult bootNew(sandbox::FunctionArtifacts &fn,
+                                InvocationRecord &record,
                                 trace::TraceContext trace = {});
+    /**
+     * Boot through the Catalyzer fallback chain starting at @p tier
+     * (0 = sfork, 1 = warm, 2 = cold, 3 = fresh): a tier that throws
+     * faults::FaultError degrades one tier instead of failing the
+     * request, counting boot.fallback.<from>_<to> and observing the
+     * serving tier into the boot.tier_served histogram.
+     */
+    sandbox::BootResult bootChain(sandbox::FunctionArtifacts &fn,
+                                  int tier, InvocationRecord &record,
+                                  trace::TraceContext trace);
 
     /** A parked keep-alive instance. */
     struct IdleEntry

@@ -30,6 +30,7 @@ class Machine
     Machine &operator=(const Machine &) = delete;
 
     sim::SimContext &ctx() { return ctx_; }
+    const sim::SimContext &ctx() const { return ctx_; }
     hostos::HostKernel &host() { return host_; }
     mem::FrameStore &frames() { return host_.frames(); }
 

@@ -164,7 +164,7 @@ double
 LatencySeries::cdfAt(double x) const
 {
     if (samples_.empty())
-        return 0.0;
+        return kNaN;
     const auto n = static_cast<double>(samples_.size());
     const auto below = std::count_if(samples_.begin(), samples_.end(),
                                      [x](double v) { return v <= x; });

@@ -21,10 +21,10 @@ namespace catalyzer::sim {
  * A series of latency samples with percentile and CDF queries.
  * Samples are stored in milliseconds.
  *
- * On an empty series the point statistics (mean/min/max/percentile)
- * return quiet NaN — there is no meaningful value to report, and NaN
- * propagates visibly instead of faking a 0 ms latency. cdfAt() returns
- * 0.0 on an empty series (no sample is <= x).
+ * On an empty series every statistic (mean/min/max/percentile/cdfAt)
+ * returns quiet NaN — there is no meaningful value to report, and NaN
+ * propagates visibly instead of faking a 0 ms latency or an empty CDF.
+ * JSON snapshots render non-finite values as null.
  */
 class LatencySeries
 {
@@ -49,7 +49,7 @@ class LatencySeries
      */
     double percentile(double p) const;
 
-    /** Fraction of samples <= x (empirical CDF); 0.0 if empty. */
+    /** Fraction of samples <= x (empirical CDF); NaN if empty. */
     double cdfAt(double x) const;
 
     /** Sorted copy of the samples. */

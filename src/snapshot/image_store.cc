@@ -34,6 +34,14 @@ ImageStore::fetch(const std::string &function_name, ImageFormat format)
     auto rit = remote_.find(k);
     if (rit == remote_.end())
         return nullptr;
+    if (injector_ != nullptr &&
+        injector_->shouldFail(faults::FaultSite::ImageFetch,
+                              ctx_.stats())) {
+        // The transfer dies mid-flight: the attempt costs its timeout
+        // and leaves no local copy.
+        ctx_.charge(injector_->retry().attemptTimeout);
+        return nullptr;
+    }
     // Remote fetch: transfer the whole image, then validate the
     // manifest.
     const auto &costs = ctx_.costs();
@@ -45,6 +53,13 @@ ImageStore::fetch(const std::string &function_name, ImageFormat format)
     ctx_.charge(costs.imageManifestParse);
     local_[k] = rit->second;
     return rit->second;
+}
+
+bool
+ImageStore::publishedRemotely(const std::string &function_name,
+                              ImageFormat format) const
+{
+    return remote_.contains(key(function_name, format));
 }
 
 bool
@@ -76,6 +91,18 @@ ImageStore::fetchManifest(const std::string &function_name)
         return nullptr;
     ctx_.chargeCounted("snapshot.manifest_fetches",
                        ctx_.costs().workingSetManifestIo);
+    if (injector_ != nullptr &&
+        injector_->shouldFail(faults::FaultSite::ManifestCorruption,
+                              ctx_.stats())) {
+        // The stored blob rotted: drop it so the next trace re-records
+        // a fresh working set; the read cost was already paid.
+        manifests_.erase(it);
+        ctx_.stats().incr("snapshot.manifests_corrupted");
+        sim::warn("ImageStore: corrupted working-set manifest for %s "
+                  "dropped",
+                  function_name.c_str());
+        return nullptr;
+    }
     auto manifest = prefetch::WorkingSetManifest::deserialize(it->second);
     if (!manifest)
         sim::warn("ImageStore: malformed working-set manifest for %s",

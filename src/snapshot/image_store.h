@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "faults/fault_injector.h"
 #include "prefetch/working_set_manifest.h"
 #include "sim/context.h"
 #include "snapshot/func_image.h"
@@ -42,10 +43,16 @@ class ImageStore
      * Fetch an image for @p function_name in @p format. The first fetch
      * on this machine pays the network transfer (per-MiB) plus manifest
      * validation; subsequent fetches are local. Returns nullptr if no
-     * image was ever published.
+     * image was ever published, or when the injector fails the remote
+     * transfer (the attempt still burns the retry policy's per-attempt
+     * timeout; use publishedRemotely() to tell the two apart).
      */
     std::shared_ptr<FuncImage> fetch(const std::string &function_name,
                                      ImageFormat format);
+
+    /** True if @p function_name was ever published in @p format. */
+    bool publishedRemotely(const std::string &function_name,
+                           ImageFormat format) const;
 
     /** True if a fetch would be served locally. */
     bool cachedLocally(const std::string &function_name,
@@ -82,10 +89,18 @@ class ImageStore
 
     std::size_t manifestCount() const { return manifests_.size(); }
 
+    /** Make remote fetches and manifest reads consult @p injector;
+     *  nullptr disables injection. */
+    void setFaultInjector(faults::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     static std::string key(const std::string &name, ImageFormat format);
 
     sim::SimContext &ctx_;
+    faults::FaultInjector *injector_ = nullptr;
     std::map<std::string, std::shared_ptr<FuncImage>> remote_;
     std::map<std::string, std::shared_ptr<FuncImage>> local_;
     /** Serialized working-set manifests, keyed by function name. */

@@ -1,5 +1,7 @@
 #include "snapshot/io_reconnect.h"
 
+#include <algorithm>
+
 #include "sim/logging.h"
 
 namespace catalyzer::snapshot {
@@ -41,6 +43,36 @@ reconnectConnection(sim::SimContext &ctx, vfs::IoConnection &conn,
     conn.established = true;
     ctx.stats().incr("snapshot.io_reconnects");
     return ctx.now() - before;
+}
+
+bool
+reconnectWithRetry(sim::SimContext &ctx, vfs::IoConnection &conn,
+                   vfs::FsServer *server,
+                   faults::FaultInjector *injector,
+                   trace::TraceContext trace)
+{
+    if (conn.established)
+        return true;
+    if (injector != nullptr) {
+        const faults::RetryPolicy &retry = injector->retry();
+        const int max_attempts = std::max(1, retry.maxAttempts);
+        for (int attempt = 1;
+             injector->shouldFail(faults::FaultSite::IoReconnect,
+                                  ctx.stats());
+             ++attempt) {
+            ctx.charge(retry.attemptTimeout);
+            if (attempt >= max_attempts) {
+                ctx.stats().incr("snapshot.io_reconnect_failures");
+                sim::debugLog("reconnect: %s failed after %d attempts",
+                              conn.path.c_str(), max_attempts);
+                return false;
+            }
+            ctx.stats().incr("snapshot.io_reconnect_retries");
+            ctx.charge(retry.backoff(attempt, injector->rng()));
+        }
+    }
+    reconnectConnection(ctx, conn, server, trace);
+    return true;
 }
 
 } // namespace catalyzer::snapshot

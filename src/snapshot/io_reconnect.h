@@ -6,6 +6,7 @@
 #ifndef CATALYZER_SNAPSHOT_IO_RECONNECT_H
 #define CATALYZER_SNAPSHOT_IO_RECONNECT_H
 
+#include "faults/fault_injector.h"
 #include "sim/context.h"
 #include "trace/trace.h"
 #include "vfs/fs_server.h"
@@ -25,6 +26,20 @@ sim::SimTime reconnectConnection(sim::SimContext &ctx,
                                  vfs::IoConnection &conn,
                                  vfs::FsServer *server,
                                  trace::TraceContext trace = {});
+
+/**
+ * Like reconnectConnection(), but each attempt may be failed by
+ * @p injector (FaultSite::IoReconnect): a failed attempt charges the
+ * policy's per-attempt timeout, then backs off and retries up to
+ * maxAttempts. Returns false when every attempt failed — the connection
+ * is left un-established so the first request can retry it lazily; boot
+ * paths use that signal to invalidate the function's I/O cache entry.
+ * With a null or disabled injector this is exactly reconnectConnection().
+ */
+bool reconnectWithRetry(sim::SimContext &ctx, vfs::IoConnection &conn,
+                        vfs::FsServer *server,
+                        faults::FaultInjector *injector,
+                        trace::TraceContext trace = {});
 
 } // namespace catalyzer::snapshot
 

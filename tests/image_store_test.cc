@@ -126,6 +126,36 @@ TEST(ImageStoreTest, RuntimeRebuildsCorruptImage)
     EXPECT_FALSE(fn.separatedImage->corrupted());
     // The restored guest still has valid state.
     EXPECT_TRUE(second.instance->guest().state().checkIntegrity());
+    // Local build: no remote round-trip to pay after the rebuild.
+    EXPECT_EQ(machine.ctx().stats().value(
+                  "catalyzer.image_refetch_after_rebuild"), 0);
+}
+
+TEST(ImageStoreTest, RebuildUnderRemoteImagesPaysRefetch)
+{
+    Machine machine(42);
+    FunctionRegistry registry(machine);
+    core::CatalyzerOptions options;
+    options.remoteImages = true;
+    options.verifyImages = true;
+    core::CatalyzerRuntime runtime(machine, options);
+    auto &stats = machine.ctx().stats();
+    auto &fn = registry.artifactsFor(apps::appByName("c-hello"));
+
+    runtime.bootCold(fn);
+    EXPECT_EQ(stats.value("snapshot.image_remote_fetches"), 1);
+    fn.separatedImage->markCorrupted();
+
+    // The rebuild path must be symmetric with the initial publish: the
+    // clean image goes to remote storage, the local copy is evicted,
+    // and this boot pays the re-fetch.
+    auto second = runtime.bootCold(fn);
+    ASSERT_NE(second.instance, nullptr);
+    EXPECT_EQ(stats.value("catalyzer.image_rebuilds"), 1);
+    EXPECT_EQ(stats.value("catalyzer.image_refetch_after_rebuild"), 1);
+    EXPECT_EQ(stats.value("snapshot.image_remote_fetches"), 2);
+    EXPECT_FALSE(fn.separatedImage->corrupted());
+    EXPECT_TRUE(second.instance->guest().state().checkIntegrity());
 }
 
 } // namespace

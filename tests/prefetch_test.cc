@@ -426,6 +426,57 @@ TEST(RuntimePrefetchTest, StaleManifestFallsBackAndReRecords)
     EXPECT_TRUE(fn.workingSet->usable()); // re-recorded already
 }
 
+TEST(RuntimePrefetchTest, CorruptionRebuildDropsManifestAndReRecords)
+{
+    Machine machine(42);
+    FunctionRegistry registry(machine);
+    core::CatalyzerOptions options;
+    options.prefetchWorkingSet = true;
+    options.verifyImages = true;
+    options.workingSetTraces = 2;
+    core::CatalyzerRuntime runtime(machine, options);
+    auto &stats = machine.ctx().stats();
+
+    FunctionArtifacts &fn =
+        registry.artifactsFor(apps::appByName("python-hello"));
+    BootResult boot = runtime.bootCold(fn);
+    boot.instance->invoke();
+    boot.instance.reset();
+    ASSERT_TRUE(fn.workingSet);
+    const std::uint64_t old_gen = fn.workingSet->imageGeneration();
+
+    // The image rots on storage; the verify-then-rebuild path replaces
+    // it with a fresh checkpoint under a new generation, so the
+    // recorded working set no longer describes the image layout.
+    fn.separatedImage->markCorrupted();
+    const std::int64_t stale_before =
+        stats.value("prefetch.manifest_stale");
+    BootResult after = runtime.bootCold(fn);
+    ASSERT_NE(after.instance, nullptr);
+    EXPECT_EQ(stats.value("catalyzer.image_rebuilds"), 1);
+    ASSERT_NE(fn.separatedImage->generation(), old_gen);
+
+    // The stale manifest was dropped (store included) and re-recording
+    // began against the rebuilt image.
+    EXPECT_GT(stats.value("prefetch.manifest_stale"), stale_before);
+    ASSERT_TRUE(fn.workingSet);
+    EXPECT_EQ(fn.workingSet->imageGeneration(),
+              fn.separatedImage->generation());
+    after.instance->invoke(); // closes the recording window
+    after.instance.reset();
+    EXPECT_TRUE(fn.workingSet->usable());
+
+    // The next fully-cold boot completes and prefetches the re-recorded
+    // set.
+    evictRestoreState(fn);
+    const std::int64_t hits_before =
+        stats.value("prefetch.manifest_hits");
+    BootResult next = runtime.bootCold(fn);
+    ASSERT_NE(next.instance, nullptr);
+    next.instance->invoke();
+    EXPECT_GT(stats.value("prefetch.manifest_hits"), hits_before);
+}
+
 TEST(RuntimePrefetchTest, ManifestPublishedToImageStore)
 {
     Machine machine(42);

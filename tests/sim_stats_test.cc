@@ -79,8 +79,10 @@ TEST(LatencySeriesTest, EmptySeriesStatisticsAreNaN)
     EXPECT_TRUE(std::isnan(s.percentile(100)));
     // Out-of-range percentiles still panic, even on an empty series.
     EXPECT_DEATH(s.percentile(-1), "out of range");
-    // The CDF of an empty sample is identically zero, not NaN.
-    EXPECT_DOUBLE_EQ(s.cdfAt(1.0), 0.0);
+    // The CDF follows the same convention as the point statistics:
+    // an empty sample has no distribution to evaluate, so NaN, not 0.
+    EXPECT_TRUE(std::isnan(s.cdfAt(1.0)));
+    EXPECT_TRUE(std::isnan(s.cdfAt(0.0)));
 }
 
 TEST(StatRegistryTest, HistogramsObserveAndSnapshot)
