@@ -9,7 +9,9 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
@@ -80,6 +82,35 @@ main()
         cat_max = std::max(cat_max, v);
     std::printf("\nCatalyzer max over the sweep: %.2f ms (paper: <10 ms "
                 "with 1000 instances)\n", cat_max);
+
+    // Optional stress sweep beyond the paper's axis: FIG15_MAX_INSTANCES
+    // instances (e.g. 10000) on the Catalyzer fork path, timed in host
+    // wall-clock. Exercises the extent-based memory substrate at a
+    // scale where the old per-page paths took minutes.
+    if (const char *env = std::getenv("FIG15_MAX_INSTANCES")) {
+        const int max_instances = std::atoi(env);
+        if (max_instances > 0) {
+            const auto wall_start = std::chrono::steady_clock::now();
+            std::vector<int> big_steps;
+            for (int n = 0; n <= max_instances; n += max_instances / 10)
+                big_steps.push_back(n);
+            const auto big = sweep(platform::BootStrategy::CatalyzerFork,
+                                   big_steps, false);
+            const double wall_s = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      wall_start)
+                                      .count();
+            std::printf("\nstress sweep to %d instances:\n",
+                        max_instances);
+            for (std::size_t i = 0; i < big_steps.size(); ++i)
+                std::printf("  %6d running: %s ms\n", big_steps[i],
+                            sim::fmtMs(big[i]).c_str());
+            std::printf("  wall-clock: %.2f s for %d fork boots "
+                        "(%.0f boots/sec)\n",
+                        wall_s, max_instances + 11,
+                        (max_instances + 11) / wall_s);
+        }
+    }
     bench::footer();
     return 0;
 }

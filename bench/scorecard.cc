@@ -8,6 +8,7 @@
  * can gate CI.
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -71,6 +72,7 @@ bootMs(sandbox::SandboxSystem system, const char *app)
 int
 main()
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     bench::banner("Scorecard",
                   "Every prose anchor of the paper, measured and "
                   "graded.");
@@ -276,5 +278,17 @@ main()
     std::printf("\n%zu anchors, %d deviations\n", anchors.size(),
                 deviations);
     bench::footer();
+
+    // Simulator wall-clock cost (host time, not virtual time): how
+    // long the whole scorecard took and the aggregate boot rate.
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const auto boots = sim::StatRegistry::global().value("bench.boots");
+    std::printf("\nwall-clock: %.2f s total, %lld boots simulated "
+                "(%.0f boots/sec)\n",
+                wall_s, static_cast<long long>(boots),
+                wall_s > 0.0 ? static_cast<double>(boots) / wall_s : 0.0);
     return deviations == 0 ? 0 : 1;
 }

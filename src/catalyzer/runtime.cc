@@ -194,6 +194,7 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm,
     const auto &costs = ctx.costs();
     const apps::AppProfile &app = fn.app();
 
+    sim::StatRegistry::global().incr("bench.boots");
     trace::ScopedSpan boot_span(
         trace, std::string("boot/Catalyzer-") + (warm ? "warm" : "cold"));
     boot_span.attr("function", app.name);
@@ -410,12 +411,8 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm,
         span.attr("connections",
                   static_cast<std::int64_t>(image->ioTable().size()));
         const trace::TraceContext ictx = span.context();
-        for (const vfs::IoConnection &saved : image->ioTable()) {
-            const std::uint64_t id = inst->guest().io().add(
-                saved.kind, saved.path, saved.usedAtStartup,
-                saved.usedByRequests);
-            inst->guest().io().find(id)->established = false;
-        }
+        inst->guest().io().cloneFrom(image->ioTable());
+        inst->guest().io().dropAll();
         if (!options_.lazyIoReconnection) {
             // Eager ablation: a connection whose retries all fail stays
             // down and re-establishes lazily at the first request.
@@ -527,18 +524,16 @@ CatalyzerRuntime::sforkFrom(SandboxInstance &tmpl, FunctionArtifacts &fn,
     guest->setState(tmpl.guest().state());
     guest->threads().adoptTransientState(tmpl.guest().threads());
     guest->threads().expandFromTransient();
-    for (const auto &conn : tmpl.guest().io().all()) {
-        const std::uint64_t id = guest->io().add(
-            conn.kind, conn.path, conn.usedAtStartup,
-            conn.usedByRequests);
-        // Read-only file descriptors stay valid across sfork; sockets
-        // must reconnect (lazily, via the Reconnect handler).
-        guest->io().find(id)->established =
+    guest->io().cloneFrom(tmpl.guest().io().all());
+    // Read-only file descriptors stay valid across sfork; sockets
+    // must reconnect (lazily, via the Reconnect handler).
+    for (auto &conn : guest->io().all()) {
+        conn.established =
             conn.established && conn.kind != vfs::ConnKind::Socket;
     }
     guest->syncFdTable();
     const auto handled = static_cast<std::int64_t>(
-        guest::syscallsWithClass(guest::SyscallClass::Handled).size());
+        guest::countSyscallsWithClass(guest::SyscallClass::Handled));
     ctx.charge(costs.syscallBase * handled);
 
     inst->setGuest(std::move(guest));
@@ -569,6 +564,7 @@ CatalyzerRuntime::bootFork(FunctionArtifacts &fn,
         throw faults::FaultError(faults::FaultSite::TemplateDeath,
                                  fn.app().name + " template died");
     }
+    sim::StatRegistry::global().incr("bench.boots");
     trace::ScopedSpan boot_span(trace, "boot/Catalyzer-sfork");
     boot_span.attr("function", fn.app().name);
     BootResult result;
@@ -592,6 +588,7 @@ CatalyzerRuntime::bootFromLanguageTemplate(FunctionArtifacts &fn,
     const apps::AppProfile &app = fn.app();
     SandboxInstance &tmpl = ensureLanguageTemplate(app.language);
 
+    sim::StatRegistry::global().incr("bench.boots");
     trace::ScopedSpan boot_span(trace, "boot/Catalyzer-lang-template");
     boot_span.attr("function", app.name);
     boot_span.attr("language", apps::languageName(app.language));

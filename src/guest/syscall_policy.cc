@@ -152,4 +152,15 @@ syscallsWithClass(SyscallClass cls)
     return out;
 }
 
+std::size_t
+countSyscallsWithClass(SyscallClass cls)
+{
+    std::size_t n = 0;
+    for (const auto &rule : syscallTable()) {
+        if (rule.cls == cls)
+            ++n;
+    }
+    return n;
+}
+
 } // namespace catalyzer::guest

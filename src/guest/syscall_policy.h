@@ -63,6 +63,9 @@ const SyscallRule *findSyscallRule(const std::string &name);
 /** All syscall names with the given class (test/bench support). */
 std::vector<std::string> syscallsWithClass(SyscallClass cls);
 
+/** Number of syscalls with the given class (no name materialization). */
+std::size_t countSyscallsWithClass(SyscallClass cls);
+
 } // namespace catalyzer::guest
 
 #endif // CATALYZER_GUEST_SYSCALL_POLICY_H

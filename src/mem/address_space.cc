@@ -14,8 +14,26 @@ AddressSpace::AddressSpace(sim::SimContext &ctx, FrameStore &store,
 
 AddressSpace::~AddressSpace()
 {
-    for (auto &[page, pte] : table_)
-        store_.unref(pte.frame);
+    // Scattered single-page runs (COW faults) usually carry frames that
+    // were allocated consecutively; merging frame extents before the
+    // unref turns hundreds of span splits into a few range drops.
+    std::vector<std::pair<FrameId, std::size_t>> extents;
+    table_.forEachRun([&extents](PageIndex, const PageTable::Run &run) {
+        extents.emplace_back(run.frame0, run.npages);
+    });
+    std::sort(extents.begin(), extents.end());
+    std::size_t i = 0;
+    while (i < extents.size()) {
+        FrameId f0 = extents[i].first;
+        std::size_t n = extents[i].second;
+        std::size_t j = i + 1;
+        while (j < extents.size() && extents[j].first == f0 + n) {
+            n += extents[j].second;
+            ++j;
+        }
+        store_.unrefRange(f0, n);
+        i = j;
+    }
     if (base_)
         base_->detach();
 }
@@ -71,24 +89,36 @@ AddressSpace::unmap(PageIndex start)
                            [start](const Vma &v) { return v.start == start; });
     if (it == vmas_.end())
         sim::panic("AddressSpace %s: unmap of unknown VMA", name_.c_str());
-    for (PageIndex p = it->start; p < it->start + it->npages; ++p) {
-        if (Pte *pte = table_.lookupMutable(p)) {
-            store_.unref(pte->frame);
-            table_.erase(p);
-        }
-    }
+    table_.forEachSegmentIn(
+        it->start, it->npages,
+        [this](PageIndex, std::size_t m, const PageTable::Run *run) {
+            if (run != nullptr)
+                store_.unrefRange(run->frame0, m);
+        });
+    table_.eraseRange(it->start, it->npages);
     vmas_.erase(it);
+    vma_cache_ = static_cast<std::size_t>(-1);
     ctx_.chargeCounted("mem.munmap_calls", ctx_.costs().mmapRegion);
 }
 
 const Vma *
 AddressSpace::findVma(PageIndex page) const
 {
-    for (const auto &vma : vmas_) {
-        if (vma.contains(page))
-            return &vma;
-    }
-    return nullptr;
+    // vmas_ is sorted by start (regions are mapped at ascending VAs and
+    // never split), so one binary search finds the candidate; the
+    // last-hit cache short-circuits the streaks every touch loop has.
+    if (vma_cache_ < vmas_.size() && vmas_[vma_cache_].contains(page))
+        return &vmas_[vma_cache_];
+    auto it = std::upper_bound(
+        vmas_.begin(), vmas_.end(), page,
+        [](PageIndex p, const Vma &v) { return p < v.start; });
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    if (!it->contains(page))
+        return nullptr;
+    vma_cache_ = static_cast<std::size_t>(it - vmas_.begin());
+    return &*it;
 }
 
 void
@@ -99,15 +129,22 @@ AddressSpace::installCowCopy(PageIndex page, FrameId src_frame)
     table_.install(page, Pte{copy, true, false});
 }
 
+void
+AddressSpace::notifyRange(PageIndex start, std::size_t npages, bool write,
+                          FaultResult result)
+{
+    if (observer_ != nullptr && npages > 0 && result != FaultResult::None)
+        observer_->onFaultRange(start, npages, write, result);
+}
+
 FaultResult
 AddressSpace::resolveBaseAccess(PageIndex page, bool write, bool cold)
 {
     const PageIndex rel = page - base_va_start_;
-    const Pte *bpte = base_->lookup(rel);
+    Pte bpte;
     bool filled = false;
-    if (!bpte) {
-        base_->populate(ctx_, rel, cold);
-        bpte = base_->lookup(rel);
+    if (!base_->lookup(rel, &bpte)) {
+        bpte.frame = base_->populate(ctx_, rel, cold);
         filled = true;
     }
     if (!write) {
@@ -117,7 +154,7 @@ AddressSpace::resolveBaseAccess(PageIndex page, bool write, bool cold)
     }
     // Write: copy the base page into the Private-EPT.
     ctx_.chargeCounted("mem.cow_faults", ctx_.costs().cowFault);
-    installCowCopy(page, bpte->frame);
+    installCowCopy(page, bpte.frame);
     return FaultResult::BaseCow;
 }
 
@@ -133,28 +170,27 @@ AddressSpace::touch(PageIndex page, bool write, bool cold)
 FaultResult
 AddressSpace::resolveTouch(PageIndex page, bool write, bool cold)
 {
-    if (Pte *pte = table_.lookupMutable(page)) {
-        if (!write || pte->writable)
+    Pte pte;
+    if (table_.lookup(page, &pte)) {
+        if (!write || pte.writable)
             return FaultResult::None;
-        if (!pte->cow)
+        if (!pte.cow)
             sim::panic("AddressSpace %s: write to read-only page %llu",
                        name_.c_str(),
                        static_cast<unsigned long long>(page));
         // COW write fault.
-        const std::size_t refs = store_.refCount(pte->frame);
+        const std::size_t refs = store_.refCount(pte.frame);
         const bool cache_backed =
-            store_.source(pte->frame) == FrameSource::PageCache;
+            store_.source(pte.frame) == FrameSource::PageCache;
         if (refs == 1 && !cache_backed) {
             // Sole owner: reuse in place, no copy.
-            pte->writable = true;
-            pte->cow = false;
+            table_.setFlags(page, true, false);
             ctx_.chargeCounted("mem.cow_reuse", ctx_.costs().demandFaultAnon);
             return FaultResult::CowReuse;
         }
         ctx_.chargeCounted("mem.cow_faults", ctx_.costs().cowFault);
-        const FrameId old = pte->frame;
-        installCowCopy(page, old);
-        store_.unref(old);
+        installCowCopy(page, pte.frame);
+        store_.unref(pte.frame);
         return FaultResult::Cow;
     }
 
@@ -208,13 +244,260 @@ AddressSpace::resolveTouch(PageIndex page, bool write, bool cold)
 }
 
 std::size_t
+AddressSpace::resolvePresentRange(PageIndex start, std::size_t npages,
+                                  FrameId frame0, bool writable, bool cow,
+                                  bool write)
+{
+    if (!write || writable)
+        return 0; // FaultResult::None for the whole extent
+    if (!cow)
+        sim::panic("AddressSpace %s: write to read-only page %llu",
+                   name_.c_str(), static_cast<unsigned long long>(start));
+    // Split the extent by frame sharing: sole-owner anonymous frames
+    // resolve by remap (CowReuse), everything else copies. Frames
+    // within one run are distinct, so the per-page decision sequence
+    // is exactly what a page-by-page loop would have computed.
+    std::size_t faults = 0;
+    PageIndex page = start;
+    store_.forEachSegment(
+        frame0, npages,
+        [&](std::size_t m, std::size_t refs, FrameSource src) {
+            const auto n = static_cast<std::int64_t>(m);
+            const FrameId f0 = frame0 + (page - start);
+            if (refs == 1 && src != FrameSource::PageCache) {
+                table_.setFlagsRange(page, m, true, false);
+                ctx_.chargeCounted("mem.cow_reuse",
+                                   ctx_.costs().demandFaultAnon *
+                                       static_cast<double>(n),
+                                   n);
+                notifyRange(page, m, true, FaultResult::CowReuse);
+            } else {
+                ctx_.chargeCounted("mem.cow_faults",
+                                   ctx_.costs().cowFault *
+                                       static_cast<double>(n),
+                                   n);
+                const FrameId copies =
+                    store_.allocateRange(m, FrameSource::Anonymous);
+                table_.eraseRange(page, m);
+                table_.installRange(page, m, copies, true, false);
+                store_.unrefRange(f0, m);
+                notifyRange(page, m, true, FaultResult::Cow);
+            }
+            faults += m;
+            page += m;
+        });
+    return faults;
+}
+
+void
+AddressSpace::installFileFrames(PageIndex start,
+                                const std::vector<FrameId> &frames,
+                                bool writable, bool cow)
+{
+    std::size_t i = 0;
+    while (i < frames.size()) {
+        std::size_t j = i + 1;
+        while (j < frames.size() && frames[j] == frames[i] + (j - i))
+            ++j;
+        store_.refRange(frames[i], j - i);
+        table_.installRange(start + i, j - i, frames[i], writable, cow);
+        i = j;
+    }
+}
+
+std::size_t
+AddressSpace::faultVmaGap(const Vma &vma, PageIndex start,
+                          std::size_t npages, bool write, bool cold)
+{
+    if (write && !vma.writable)
+        sim::panic("AddressSpace %s: write to read-only VMA %s",
+                   name_.c_str(), vma.name.c_str());
+    const auto n = static_cast<std::int64_t>(npages);
+    switch (vma.kind) {
+      case MapKind::Anon: {
+        ctx_.chargeCounted("mem.minor_faults_anon",
+                           ctx_.costs().demandFaultAnon *
+                               static_cast<double>(n),
+                           n);
+        const FrameId f0 =
+            store_.allocateRange(npages, FrameSource::Anonymous);
+        table_.installRange(start, npages, f0, vma.writable, false);
+        notifyRange(start, npages, write, FaultResult::MinorAnon);
+        return npages;
+      }
+      case MapKind::FilePrivate: {
+        ctx_.chargeCounted("mem.minor_faults_file",
+                           ctx_.costs().demandFaultFile *
+                               static_cast<double>(n),
+                           n);
+        const PageIndex fpage0 = vma.fileStart + (start - vma.start);
+        if (write) {
+            // Fill the page cache (ascending order keeps the cold-miss
+            // RNG draws identical to the per-page loop), then COW.
+            for (std::size_t k = 0; k < npages; ++k)
+                vma.file->frameFor(ctx_, fpage0 + k, cold);
+            ctx_.chargeCounted("mem.cow_faults",
+                               ctx_.costs().cowFault *
+                                   static_cast<double>(n),
+                               n);
+            const FrameId f0 =
+                store_.allocateRange(npages, FrameSource::Anonymous);
+            table_.installRange(start, npages, f0, true, false);
+            notifyRange(start, npages, write, FaultResult::Cow);
+            return npages;
+        }
+        std::vector<FrameId> frames;
+        frames.reserve(npages);
+        for (std::size_t k = 0; k < npages; ++k)
+            frames.push_back(vma.file->frameFor(ctx_, fpage0 + k, cold));
+        installFileFrames(start, frames, false, true);
+        notifyRange(start, npages, write, FaultResult::MinorFile);
+        return npages;
+      }
+      case MapKind::FileShared: {
+        ctx_.chargeCounted("mem.minor_faults_file",
+                           ctx_.costs().demandFaultFile *
+                               static_cast<double>(n),
+                           n);
+        const PageIndex fpage0 = vma.fileStart + (start - vma.start);
+        std::vector<FrameId> frames;
+        frames.reserve(npages);
+        for (std::size_t k = 0; k < npages; ++k)
+            frames.push_back(vma.file->frameFor(ctx_, fpage0 + k, cold));
+        installFileFrames(start, frames, vma.writable, false);
+        notifyRange(start, npages, write, FaultResult::MinorFile);
+        return npages;
+      }
+    }
+    sim::panic("unreachable");
+}
+
+std::size_t
+AddressSpace::touchVmaRange(const Vma &vma, PageIndex start,
+                            std::size_t npages, bool write, bool cold)
+{
+    // Snapshot the present/absent segmentation first: fault handling
+    // installs runs, which would invalidate a live walk. Processing an
+    // earlier segment never changes a later one (segments are disjoint
+    // and frames within one space are distinct per page).
+    struct Seg
+    {
+        PageIndex start;
+        std::size_t npages;
+        bool present;
+        PageTable::Run run; // valid when present
+    };
+    std::vector<Seg> segs;
+    table_.forEachSegmentIn(
+        start, npages,
+        [&segs](PageIndex s, std::size_t m, const PageTable::Run *run) {
+            segs.push_back(Seg{s, m, run != nullptr,
+                               run != nullptr ? *run : PageTable::Run{}});
+        });
+    std::size_t faults = 0;
+    for (const Seg &seg : segs) {
+        if (seg.present)
+            faults += resolvePresentRange(seg.start, seg.npages,
+                                          seg.run.frame0, seg.run.writable,
+                                          seg.run.cow, write);
+        else
+            faults += faultVmaGap(vma, seg.start, seg.npages, write, cold);
+    }
+    return faults;
+}
+
+std::size_t
+AddressSpace::touchBaseRange(PageIndex start, std::size_t npages,
+                             bool write, bool cold)
+{
+    struct Seg
+    {
+        PageIndex start;
+        std::size_t npages;
+        bool present;
+        PageTable::Run run;
+    };
+    std::vector<Seg> segs;
+    table_.forEachSegmentIn(
+        start, npages,
+        [&segs](PageIndex s, std::size_t m, const PageTable::Run *run) {
+            segs.push_back(Seg{s, m, run != nullptr,
+                               run != nullptr ? *run : PageTable::Run{}});
+        });
+    std::size_t faults = 0;
+    for (const Seg &seg : segs) {
+        if (seg.present) {
+            // Privately COWed base pages resolve like any present run.
+            faults += resolvePresentRange(seg.start, seg.npages,
+                                          seg.run.frame0, seg.run.writable,
+                                          seg.run.cow, write);
+            continue;
+        }
+        // Absent in the Private-EPT: resolve through the base, split
+        // by base residency so fills charge in one aggregated call.
+        struct BSeg
+        {
+            PageIndex rel;
+            std::size_t npages;
+            bool resident;
+        };
+        std::vector<BSeg> bsegs;
+        base_->forEachSegmentIn(
+            seg.start - base_va_start_, seg.npages,
+            [&bsegs](PageIndex rel, std::size_t m, bool resident) {
+                bsegs.push_back(BSeg{rel, m, resident});
+            });
+        for (const BSeg &bseg : bsegs) {
+            const PageIndex va = base_va_start_ + bseg.rel;
+            if (!bseg.resident)
+                base_->populateRange(ctx_, bseg.rel, bseg.npages, cold);
+            if (write) {
+                const auto n = static_cast<std::int64_t>(bseg.npages);
+                ctx_.chargeCounted("mem.cow_faults",
+                                   ctx_.costs().cowFault *
+                                       static_cast<double>(n),
+                                   n);
+                const FrameId copies = store_.allocateRange(
+                    bseg.npages, FrameSource::Anonymous);
+                table_.installRange(va, bseg.npages, copies, true, false);
+                notifyRange(va, bseg.npages, true, FaultResult::BaseCow);
+            } else {
+                notifyRange(va, bseg.npages, false,
+                            bseg.resident ? FaultResult::BaseHit
+                                          : FaultResult::BaseFill);
+            }
+            faults += bseg.npages;
+        }
+    }
+    return faults;
+}
+
+std::size_t
 AddressSpace::touchRange(PageIndex start, std::size_t npages, bool write,
                          bool cold)
 {
     std::size_t faults = 0;
-    for (PageIndex p = start; p < start + npages; ++p) {
-        if (touch(p, write, cold) != FaultResult::None)
-            ++faults;
+    const PageIndex end = start + npages;
+    PageIndex p = start;
+    while (p < end) {
+        if (base_ && p >= base_va_start_ &&
+            p < base_va_start_ + base_->npages()) {
+            const PageIndex seg_end =
+                std::min<PageIndex>(end, base_va_start_ + base_->npages());
+            faults += touchBaseRange(p, static_cast<std::size_t>(seg_end - p),
+                                     write, cold);
+            p = seg_end;
+            continue;
+        }
+        const Vma *vma = findVma(p);
+        if (!vma)
+            sim::panic("AddressSpace %s: fault on unmapped page %llu",
+                       name_.c_str(), static_cast<unsigned long long>(p));
+        const PageIndex seg_end =
+            std::min<PageIndex>(end, vma->start + vma->npages);
+        faults += touchVmaRange(*vma, p, static_cast<std::size_t>(seg_end - p),
+                                write, cold);
+        p = seg_end;
     }
     return faults;
 }
@@ -235,20 +518,23 @@ AddressSpace::forkCow(std::string child_name, bool honor_cow_flag)
             (table_.presentPages() + kPtesPerTable - 1) / kPtesPerTable),
         1);
 
-    for (auto &[page, pte] : table_) {
-        const Vma *vma = findVma(page);
+    // Downgrade every extent that is not truly shared to pending-COW in
+    // the parent, then share each frame once and copy the run map
+    // wholesale — the child's table is exactly the parent's post-mark
+    // table, run for run.
+    for (const Vma &vma : vmas_) {
         const bool truly_shared =
-            vma && vma->kind == MapKind::FileShared &&
-            (!honor_cow_flag || !vma->cowOnFork);
-        store_.ref(pte.frame);
-        if (truly_shared) {
-            child->table_.install(page, pte);
-        } else {
-            pte.cow = pte.cow || pte.writable;
-            pte.writable = false;
-            child->table_.install(page, pte);
-        }
+            vma.kind == MapKind::FileShared &&
+            (!honor_cow_flag || !vma.cowOnFork);
+        if (!truly_shared)
+            table_.markCowRange(vma.start, vma.npages);
     }
+    if (base_) // privately COWed base pages downgrade like anon memory
+        table_.markCowRange(base_va_start_, base_->npages());
+    table_.forEachRun([this](PageIndex, const PageTable::Run &run) {
+        store_.refRange(run.frame0, run.npages);
+    });
+    child->table_ = table_;
     ctx_.stats().incr("mem.fork_cow_pages",
                       static_cast<std::int64_t>(table_.presentPages()));
 
@@ -273,15 +559,19 @@ double
 AddressSpace::pssBytes() const
 {
     double bytes = 0.0;
-    for (const auto &[page, pte] : table_) {
-        std::size_t divisor = store_.refCount(pte.frame);
-        if (store_.source(pte.frame) == FrameSource::PageCache &&
-            divisor > 1) {
-            --divisor; // the page cache's own reference does not count
-        }
-        bytes += static_cast<double>(kPageSize) /
-                 static_cast<double>(std::max<std::size_t>(divisor, 1));
-    }
+    table_.forEachRun([&](PageIndex, const PageTable::Run &run) {
+        store_.forEachSegment(
+            run.frame0, run.npages,
+            [&](std::size_t m, std::size_t refs, FrameSource src) {
+                std::size_t divisor = refs;
+                if (src == FrameSource::PageCache && divisor > 1)
+                    --divisor; // the page cache's own ref does not count
+                bytes += static_cast<double>(m) *
+                         (static_cast<double>(kPageSize) /
+                          static_cast<double>(
+                              std::max<std::size_t>(divisor, 1)));
+            });
+    });
     if (base_ && base_->attachCount() > 0) {
         bytes += static_cast<double>(base_->residentBytes()) /
                  static_cast<double>(base_->attachCount());

@@ -52,6 +52,20 @@ class FaultObserver
   public:
     virtual ~FaultObserver() = default;
     virtual void onFault(PageIndex page, bool write, FaultResult result) = 0;
+
+    /**
+     * Batched notification for an extent of identically resolved
+     * faults. The default fans out to onFault() page by page in
+     * ascending order, so per-page observers keep working unmodified;
+     * extent-aware observers can override it.
+     */
+    virtual void
+    onFaultRange(PageIndex start, std::size_t npages, bool write,
+                 FaultResult result)
+    {
+        for (std::size_t k = 0; k < npages; ++k)
+            onFault(start + k, write, result);
+    }
 };
 
 /** One virtual memory area. */
@@ -85,6 +99,14 @@ struct Vma
  * (Base-EPT). All page faults — demand fill, COW, base fill — are
  * resolved here and charged to the SimContext, so startup and execution
  * latencies emerge from real fault counts.
+ *
+ * Range accesses resolve whole extents against one VMA per pass: bulk
+ * PTE installs, one aggregated charge per fault class (N x cost in a
+ * single chargeCounted, which is bit-identical to N unit charges), and
+ * range observer callbacks. Per-page RNG draws (cold page-cache
+ * misses) are still taken in ascending page order, so every simulated
+ * latency, counter, and random decision matches the per-page loop this
+ * replaced.
  */
 class AddressSpace
 {
@@ -169,15 +191,43 @@ class AddressSpace
     FaultResult resolveBaseAccess(PageIndex page, bool write, bool cold);
     void installCowCopy(PageIndex page, FrameId src_frame);
 
+    /** Emit a range observer callback for non-None results. */
+    void notifyRange(PageIndex start, std::size_t npages, bool write,
+                     FaultResult result);
+
+    /** Batched resolution of [start, start+npages) inside one VMA. */
+    std::size_t touchVmaRange(const Vma &vma, PageIndex start,
+                              std::size_t npages, bool write, bool cold);
+
+    /** Batched resolution of a range inside the base window. */
+    std::size_t touchBaseRange(PageIndex start, std::size_t npages,
+                               bool write, bool cold);
+
+    /** COW-resolve a fully present extent (write access). */
+    std::size_t resolvePresentRange(PageIndex start, std::size_t npages,
+                                    FrameId frame0, bool writable, bool cow,
+                                    bool write);
+
+    /** Demand-fault a fully absent extent against @p vma. */
+    std::size_t faultVmaGap(const Vma &vma, PageIndex start,
+                            std::size_t npages, bool write, bool cold);
+
+    /** Ref+install file-cache frames, batching contiguous extents. */
+    void installFileFrames(PageIndex start,
+                           const std::vector<FrameId> &frames,
+                           bool writable, bool cow);
+
     sim::SimContext &ctx_;
     FrameStore &store_;
     std::string name_;
-    std::vector<Vma> vmas_;
+    std::vector<Vma> vmas_; // sorted by start (mapped at ascending VAs)
     PageTable table_;
     std::shared_ptr<BaseMapping> base_;
     FaultObserver *observer_ = nullptr;
     PageIndex base_va_start_ = 0;
     PageIndex next_va_ = 0x1000; // leave page 0 unmapped
+    /** Last findVma hit (index into vmas_); npos when invalid. */
+    mutable std::size_t vma_cache_ = static_cast<std::size_t>(-1);
 };
 
 } // namespace catalyzer::mem

@@ -1,5 +1,7 @@
 #include "mem/base_mapping.h"
 
+#include <vector>
+
 #include "sim/logging.h"
 
 namespace catalyzer::mem {
@@ -16,8 +18,9 @@ BaseMapping::BaseMapping(FrameStore &store, BackingFile &file,
 
 BaseMapping::~BaseMapping()
 {
-    for (auto &[page, pte] : table_)
-        store_.unref(pte.frame);
+    table_.forEachRun([this](PageIndex, const PageTable::Run &run) {
+        store_.unrefRange(run.frame0, run.npages);
+    });
     if (attach_count_ != 0)
         sim::warn("BaseMapping %s destroyed with %zu attachments",
                   name_.c_str(), attach_count_);
@@ -29,8 +32,9 @@ BaseMapping::populate(sim::SimContext &ctx, PageIndex page, bool cold)
     if (page >= npages_)
         sim::panic("BaseMapping %s: page %llu out of range", name_.c_str(),
                    static_cast<unsigned long long>(page));
-    if (const Pte *pte = table_.lookup(page))
-        return pte->frame;
+    Pte pte;
+    if (table_.lookup(page, &pte))
+        return pte.frame;
 
     ctx.chargeCounted("mem.base_fills", ctx.costs().demandFaultFile);
     const FrameId frame = file_.frameFor(ctx, file_start_ + page, cold);
@@ -39,13 +43,60 @@ BaseMapping::populate(sim::SimContext &ctx, PageIndex page, bool cold)
     return frame;
 }
 
+void
+BaseMapping::populateRange(sim::SimContext &ctx, PageIndex start,
+                           std::size_t npages, bool cold)
+{
+    if (start + npages > npages_)
+        sim::panic("BaseMapping %s: page %llu out of range", name_.c_str(),
+                   static_cast<unsigned long long>(start + npages - 1));
+    // Collect the missing extents first: installing into the table
+    // while walking it would invalidate the segment iteration.
+    struct Gap
+    {
+        PageIndex start;
+        std::size_t npages;
+    };
+    std::vector<Gap> gaps;
+    table_.forEachSegmentIn(
+        start, npages,
+        [&gaps](PageIndex s, std::size_t m, const PageTable::Run *run) {
+            if (run == nullptr)
+                gaps.push_back(Gap{s, m});
+        });
+    std::vector<FrameId> frames;
+    for (const Gap &gap : gaps) {
+        ctx.chargeCounted("mem.base_fills",
+                          ctx.costs().demandFaultFile *
+                              static_cast<double>(gap.npages),
+                          static_cast<std::int64_t>(gap.npages));
+        frames.clear();
+        frames.reserve(gap.npages);
+        for (std::size_t k = 0; k < gap.npages; ++k)
+            frames.push_back(
+                file_.frameFor(ctx, file_start_ + gap.start + k, cold));
+        // Install maximal frame-contiguous extents in one go.
+        std::size_t i = 0;
+        while (i < gap.npages) {
+            std::size_t j = i + 1;
+            while (j < gap.npages &&
+                   frames[j] == frames[i] + (j - i))
+                ++j;
+            store_.refRange(frames[i], j - i);
+            table_.installRange(gap.start + i, j - i, frames[i], false,
+                                false);
+            i = j;
+        }
+    }
+}
+
 BaseMapping::PrefetchFill
 BaseMapping::populatePrefetched(sim::SimContext &ctx, PageIndex page)
 {
     if (page >= npages_)
         sim::panic("BaseMapping %s: prefetch of page %llu out of range",
                    name_.c_str(), static_cast<unsigned long long>(page));
-    if (table_.lookup(page) != nullptr)
+    if (table_.lookup(page))
         return PrefetchFill::AlreadyResident;
 
     ctx.stats().incr("mem.base_prefetch_fills");
@@ -61,8 +112,7 @@ BaseMapping::populatePrefetched(sim::SimContext &ctx, PageIndex page)
 void
 BaseMapping::populateAll(sim::SimContext &ctx, bool cold)
 {
-    for (PageIndex p = 0; p < npages_; ++p)
-        populate(ctx, p, cold);
+    populateRange(ctx, 0, npages_, cold);
 }
 
 void

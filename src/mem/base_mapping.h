@@ -41,8 +41,15 @@ class BaseMapping
     BaseMapping(const BaseMapping &) = delete;
     BaseMapping &operator=(const BaseMapping &) = delete;
 
-    /** Entry for region-relative @p page, or nullptr if not resident. */
-    const Pte *lookup(PageIndex page) const { return table_.lookup(page); }
+    /**
+     * Look up region-relative @p page; returns true and fills @p out
+     * (when non-null) if resident.
+     */
+    bool
+    lookup(PageIndex page, Pte *out = nullptr) const
+    {
+        return table_.lookup(page, out);
+    }
 
     /**
      * Demand-populate region-relative @p page from the backing file,
@@ -50,8 +57,33 @@ class BaseMapping
      */
     FrameId populate(sim::SimContext &ctx, PageIndex page, bool cold);
 
+    /**
+     * Demand-populate every non-resident page in the region-relative
+     * extent [start, start+npages): one aggregated file-fault charge
+     * for the missing pages, page-cache fills in ascending page order
+     * (identical costs, counters and RNG draws to per-page populate
+     * calls), and run-batched PTE installs.
+     */
+    void populateRange(sim::SimContext &ctx, PageIndex start,
+                       std::size_t npages, bool cold);
+
     /** Eagerly populate the full extent (used by eager-restore baselines). */
     void populateAll(sim::SimContext &ctx, bool cold);
+
+    /**
+     * Walk region-relative [start, start+npages) split into maximal
+     * resident/missing segments: fn(rel_start, seg_npages, resident).
+     */
+    template <typename Fn>
+    void
+    forEachSegmentIn(PageIndex start, std::size_t npages, Fn &&fn) const
+    {
+        table_.forEachSegmentIn(
+            start, npages,
+            [&fn](PageIndex s, std::size_t m, const PageTable::Run *run) {
+                fn(s, m, run != nullptr);
+            });
+    }
 
     /** Outcome of one prefetch fill. */
     enum class PrefetchFill

@@ -4,49 +4,158 @@
 
 namespace catalyzer::mem {
 
-FrameId
-FrameStore::allocate(FrameSource source)
+void
+FrameStore::panicDead(const char *op, FrameId id)
 {
-    const FrameId id = next_++;
-    frames_.emplace(id, Frame{1, source});
+    sim::panic("%s: frame %llu not live", op,
+               static_cast<unsigned long long>(id));
+}
+
+FrameStore::SpanMap::const_iterator
+FrameStore::findSpan(FrameId id) const
+{
+    auto it = spans_.upper_bound(id);
+    if (it == spans_.begin())
+        return spans_.end();
+    --it;
+    if (id < it->first + it->second.npages)
+        return it;
+    return spans_.end();
+}
+
+FrameStore::SpanMap::iterator
+FrameStore::findSpanMutable(FrameId id)
+{
+    auto it = spans_.upper_bound(id);
+    if (it == spans_.begin())
+        return spans_.end();
+    --it;
+    if (id < it->first + it->second.npages)
+        return it;
+    return spans_.end();
+}
+
+void
+FrameStore::splitAt(FrameId at)
+{
+    auto it = findSpanMutable(at);
+    if (it == spans_.end() || it->first == at)
+        return;
+    const std::size_t head = static_cast<std::size_t>(at - it->first);
+    Span tail = it->second;
+    tail.npages -= head;
+    it->second.npages = head;
+    spans_.emplace_hint(std::next(it), at, tail);
+}
+
+FrameId
+FrameStore::allocateRange(std::size_t npages, FrameSource source)
+{
+    const FrameId id = next_;
+    next_ += npages;
+    live_ += npages;
+    // Sequential allocations of the same source extend the trailing
+    // span while it still holds the allocation-time refcount of 1, so
+    // per-page fill loops produce one span, not one entry per page.
+    if (!spans_.empty()) {
+        auto last = std::prev(spans_.end());
+        if (last->first + last->second.npages == id &&
+            last->second.refs == 1 && last->second.source == source) {
+            last->second.npages += npages;
+            return id;
+        }
+    }
+    spans_.emplace_hint(spans_.end(), id, Span{npages, 1, source});
     return id;
 }
 
-void
-FrameStore::ref(FrameId id)
+FrameStore::SpanMap::iterator
+FrameStore::coalesce(SpanMap::iterator it)
 {
-    auto it = frames_.find(id);
-    if (it == frames_.end())
-        sim::panic("FrameStore::ref: frame %llu not live",
-                   static_cast<unsigned long long>(id));
-    ++it->second.refs;
+    if (it != spans_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second.npages == it->first &&
+            prev->second.refs == it->second.refs &&
+            prev->second.source == it->second.source) {
+            prev->second.npages += it->second.npages;
+            spans_.erase(it);
+            it = prev;
+        }
+    }
+    auto next = std::next(it);
+    if (next != spans_.end() &&
+        it->first + it->second.npages == next->first &&
+        it->second.refs == next->second.refs &&
+        it->second.source == next->second.source) {
+        it->second.npages += next->second.npages;
+        spans_.erase(next);
+    }
+    return it;
 }
 
 void
-FrameStore::unref(FrameId id)
+FrameStore::coalesceRegion(FrameId start, FrameId end)
 {
-    auto it = frames_.find(id);
-    if (it == frames_.end())
-        sim::panic("FrameStore::unref: frame %llu not live",
-                   static_cast<unsigned long long>(id));
-    if (--it->second.refs == 0)
-        frames_.erase(it);
+    auto it = spans_.lower_bound(start);
+    if (it != spans_.begin())
+        --it;
+    while (it != spans_.end() && it->first <= end) {
+        it = coalesce(it);
+        ++it;
+    }
+}
+
+void
+FrameStore::refRange(FrameId id, std::size_t npages)
+{
+    splitAt(id);
+    splitAt(id + npages);
+    FrameId p = id;
+    const FrameId end = id + npages;
+    while (p < end) {
+        auto it = findSpanMutable(p);
+        if (it == spans_.end() || it->first != p)
+            panicDead("FrameStore::ref", p);
+        ++it->second.refs;
+        p = it->first + it->second.npages;
+    }
+    coalesceRegion(id, end);
+}
+
+void
+FrameStore::unrefRange(FrameId id, std::size_t npages)
+{
+    splitAt(id);
+    splitAt(id + npages);
+    FrameId p = id;
+    const FrameId end = id + npages;
+    while (p < end) {
+        auto it = findSpanMutable(p);
+        if (it == spans_.end() || it->first != p)
+            panicDead("FrameStore::unref", p);
+        const FrameId span_end = it->first + it->second.npages;
+        if (--it->second.refs == 0) {
+            live_ -= it->second.npages;
+            spans_.erase(it);
+        }
+        p = span_end;
+    }
+    coalesceRegion(id, end);
 }
 
 std::size_t
 FrameStore::refCount(FrameId id) const
 {
-    auto it = frames_.find(id);
-    return it == frames_.end() ? 0 : it->second.refs;
+    auto it = findSpan(id);
+    return it == spans_.end() ? 0 : it->second.refs;
 }
 
 FrameSource
 FrameStore::source(FrameId id) const
 {
-    auto it = frames_.find(id);
-    if (it == frames_.end())
-        sim::panic("FrameStore::source: frame %llu not live",
-                   static_cast<unsigned long long>(id));
+    auto it = findSpan(id);
+    if (it == spans_.end())
+        panicDead("FrameStore::source", id);
     return it->second.source;
 }
 

@@ -2,18 +2,30 @@
  * @file
  * Sparse page table: the per-sandbox Private-EPT and the shared Base-EPT
  * are both instances of this structure.
+ *
+ * Entries are stored as *runs*: maximal extents of contiguous pages
+ * mapped to contiguous frames with uniform permission bits. Boot paths
+ * install and tear down memory in large extents (a heap fill, an sfork,
+ * an unmap), so the run map stays tiny — a few entries for megabytes of
+ * mappings — and every range operation (installRange, eraseRange,
+ * markCowRange, in-order iteration) costs O(runs touched) instead of a
+ * hash probe per page. Single-page faults split runs as needed and
+ * re-coalesce with their neighbors, so scattered access degrades
+ * gracefully toward the old per-page behavior without ever changing
+ * what is mapped.
  */
 
 #ifndef CATALYZER_MEM_PAGE_TABLE_H
 #define CATALYZER_MEM_PAGE_TABLE_H
 
-#include <unordered_map>
+#include <cstddef>
+#include <map>
 
 #include "mem/types.h"
 
 namespace catalyzer::mem {
 
-/** One page-table entry. */
+/** One page-table entry (a value snapshot, not a stable reference). */
 struct Pte
 {
     FrameId frame = kInvalidFrame;
@@ -24,50 +36,193 @@ struct Pte
 };
 
 /**
- * Sparse map from virtual page number to PTE. Only present entries are
- * stored; absent pages fault to the owning mapping's policy.
+ * Ordered sparse map from virtual page number to PTE, run-compressed.
+ * Only present entries are stored; absent pages fault to the owning
+ * mapping's policy.
  */
 class PageTable
 {
   public:
-    /** Entry for @p page, or nullptr when not present. */
-    const Pte *
-    lookup(PageIndex page) const
+    /** One maximal extent of present pages. Page start+k maps frame0+k. */
+    struct Run
     {
-        auto it = entries_.find(page);
-        return it == entries_.end() ? nullptr : &it->second;
-    }
+        std::size_t npages = 0;
+        FrameId frame0 = kInvalidFrame;
+        bool writable = false;
+        bool cow = false;
+    };
 
-    /** Mutable entry for @p page, or nullptr when not present. */
-    Pte *
-    lookupMutable(PageIndex page)
+    /**
+     * Look up @p page. Returns true and fills @p out (when non-null)
+     * with a snapshot of the entry if present. The hit/miss caches
+     * resolve streaming lookups inline, without a tree walk.
+     */
+    bool
+    lookup(PageIndex page, Pte *out = nullptr) const
     {
-        auto it = entries_.find(page);
-        return it == entries_.end() ? nullptr : &it->second;
+        if (cache_run_.npages != 0 && page >= cache_start_ &&
+            page - cache_start_ < cache_run_.npages) {
+            if (out != nullptr)
+                *out = Pte{cache_run_.frame0 + (page - cache_start_),
+                           cache_run_.writable, cache_run_.cow};
+            return true;
+        }
+        if (miss_valid_ && page >= miss_lo_ && page < miss_hi_)
+            return false;
+        return lookupSlow(page, out);
     }
 
     /** Install (or replace) the entry for @p page. */
-    void
-    install(PageIndex page, Pte pte)
-    {
-        entries_[page] = pte;
-    }
+    void install(PageIndex page, Pte pte);
+
+    /**
+     * Install @p npages entries mapping contiguous frames starting at
+     * @p frame0. The range must not overlap present entries.
+     */
+    void installRange(PageIndex start, std::size_t npages, FrameId frame0,
+                      bool writable, bool cow);
 
     /** Remove the entry for @p page if present. */
-    void erase(PageIndex page) { entries_.erase(page); }
+    void erase(PageIndex page) { eraseRange(page, 1); }
+
+    /** Remove all present entries in [start, start+npages). */
+    void eraseRange(PageIndex start, std::size_t npages);
+
+    /**
+     * Downgrade present entries in [start, start+npages) for COW
+     * sharing: writable pages become read-only pending-COW, read-only
+     * COW pages stay COW, plain read-only pages are untouched — the
+     * per-page transform of fork.
+     */
+    void markCowRange(PageIndex start, std::size_t npages);
+
+    /**
+     * Set the permission bits of one present page (COW resolution).
+     * Returns false when the page is not present.
+     */
+    bool setFlags(PageIndex page, bool writable, bool cow);
+
+    /** Set the permission bits of all pages in a fully present range. */
+    void setFlagsRange(PageIndex start, std::size_t npages, bool writable,
+                       bool cow);
 
     /** Number of present pages. */
-    std::size_t presentPages() const { return entries_.size(); }
+    std::size_t presentPages() const { return present_; }
 
-    auto begin() { return entries_.begin(); }
-    auto end() { return entries_.end(); }
-    auto begin() const { return entries_.begin(); }
-    auto end() const { return entries_.end(); }
+    /** Number of stored runs (fragmentation diagnostic). */
+    std::size_t runCount() const { return runs_.size(); }
 
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        runs_.clear();
+        present_ = 0;
+        invalidateCache();
+    }
+
+    /** In-order iteration over runs: fn(PageIndex start, const Run &). */
+    template <typename Fn>
+    void
+    forEachRun(Fn &&fn) const
+    {
+        for (const auto &[start, run] : runs_)
+            fn(start, run);
+    }
+
+    /** In-order iteration over entries: fn(PageIndex, Pte). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[start, run] : runs_) {
+            for (std::size_t k = 0; k < run.npages; ++k)
+                fn(start + k,
+                   Pte{run.frame0 + k, run.writable, run.cow});
+        }
+    }
+
+    /**
+     * Walk [start, start+npages) in ascending order, split into
+     * maximal segments that are either fully present (one clipped run)
+     * or fully absent: fn(seg_start, seg_npages, const Run *clipped)
+     * with clipped == nullptr for absent segments; for present
+     * segments clipped->frame0 is the frame of seg_start.
+     */
+    template <typename Fn>
+    void
+    forEachSegmentIn(PageIndex start, std::size_t npages, Fn &&fn) const
+    {
+        const PageIndex end = start + npages;
+        PageIndex p = start;
+        auto it = runs_.upper_bound(start);
+        if (it != runs_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second.npages > start)
+                it = prev;
+        }
+        while (p < end) {
+            if (it == runs_.end() || it->first >= end) {
+                fn(p, static_cast<std::size_t>(end - p), nullptr);
+                return;
+            }
+            if (it->first > p) {
+                fn(p, static_cast<std::size_t>(it->first - p), nullptr);
+                p = it->first;
+            }
+            const PageIndex run_end = it->first + it->second.npages;
+            const PageIndex seg_end = run_end < end ? run_end : end;
+            Run clipped = it->second;
+            clipped.frame0 += p - it->first;
+            clipped.npages = static_cast<std::size_t>(seg_end - p);
+            fn(p, clipped.npages, &clipped);
+            p = seg_end;
+            ++it;
+        }
+    }
 
   private:
-    std::unordered_map<PageIndex, Pte> entries_;
+    using RunMap = std::map<PageIndex, Run>;
+
+    /** Tree-walking tail of lookup(); refreshes the caches. */
+    bool lookupSlow(PageIndex page, Pte *out) const;
+
+    /** Iterator to the run containing @p page, or end(). */
+    RunMap::iterator findRun(PageIndex page);
+
+    /**
+     * Split the run containing @p at so that a run boundary falls at
+     * @p at; no-op if @p at is already a boundary or not covered.
+     */
+    void splitAt(PageIndex at);
+
+    /** Merge @p it with its neighbors when contiguous and flag-equal. */
+    RunMap::iterator coalesce(RunMap::iterator it);
+
+    /** Drop the last-hit/last-miss lookup caches (any mutation). */
+    void
+    invalidateCache() const
+    {
+        cache_run_.npages = 0;
+        miss_valid_ = false;
+    }
+
+    RunMap runs_;
+    std::size_t present_ = 0;
+    /**
+     * Last-hit lookup cache: a value snapshot of the most recently hit
+     * run (npages == 0 when invalid). Touch loops stream through the
+     * same few runs, so most lookups resolve without a tree walk.
+     */
+    mutable PageIndex cache_start_ = 0;
+    mutable Run cache_run_{};
+    /**
+     * Last-miss cache: the maximal absent gap [miss_lo_, miss_hi_)
+     * around the last missed page. Demand-fault streams probe long
+     * absent stretches; those misses resolve without a tree walk too.
+     */
+    mutable PageIndex miss_lo_ = 0;
+    mutable PageIndex miss_hi_ = 0;
+    mutable bool miss_valid_ = false;
 };
 
 } // namespace catalyzer::mem

@@ -49,43 +49,62 @@ GraphSpec::scaledTo(std::size_t objects)
     return out;
 }
 
+void
+ObjectGraph::detach()
+{
+    if (!objects_)
+        objects_ = std::make_shared<std::vector<MetaObject>>();
+    else if (objects_.use_count() > 1)
+        objects_ = std::make_shared<std::vector<MetaObject>>(*objects_);
+}
+
+const std::vector<MetaObject> &
+ObjectGraph::objects() const
+{
+    static const std::vector<MetaObject> kEmpty;
+    return objects_ ? *objects_ : kEmpty;
+}
+
 std::uint64_t
 ObjectGraph::addObject(ObjectKind kind, std::uint32_t payload_bytes,
                        std::vector<std::uint64_t> refs)
 {
-    const std::uint64_t id = objects_.size() + 1;
+    const std::uint64_t id = objectCount() + 1;
     for (std::uint64_t ref : refs) {
         if (ref >= id)
             sim::panic("ObjectGraph::addObject: forward/self ref %llu",
                        static_cast<unsigned long long>(ref));
     }
-    objects_.push_back(MetaObject{id, kind, payload_bytes, std::move(refs)});
+    detach();
+    objects_->push_back(
+        MetaObject{id, kind, payload_bytes, std::move(refs)});
     return id;
 }
 
 const MetaObject &
 ObjectGraph::object(std::uint64_t id) const
 {
-    if (id == 0 || id > objects_.size())
+    if (id == 0 || id > objectCount())
         sim::panic("ObjectGraph::object: bad id %llu",
                    static_cast<unsigned long long>(id));
-    return objects_[id - 1];
+    return (*objects_)[id - 1];
 }
 
 MetaObject &
 ObjectGraph::mutableObject(std::uint64_t id)
 {
-    if (id == 0 || id > objects_.size())
+    if (id == 0 || id > objectCount())
         sim::panic("ObjectGraph::mutableObject: bad id %llu",
                    static_cast<unsigned long long>(id));
-    return objects_[id - 1];
+    detach();
+    return (*objects_)[id - 1];
 }
 
 std::size_t
 ObjectGraph::pointerCount() const
 {
     std::size_t n = 0;
-    for (const auto &obj : objects_) {
+    for (const auto &obj : objects()) {
         n += static_cast<std::size_t>(
             std::count_if(obj.refs.begin(), obj.refs.end(),
                           [](std::uint64_t r) { return r != 0; }));
@@ -97,7 +116,7 @@ std::size_t
 ObjectGraph::payloadBytes() const
 {
     std::size_t n = 0;
-    for (const auto &obj : objects_)
+    for (const auto &obj : objects())
         n += obj.payloadBytes;
     return n;
 }
@@ -105,9 +124,9 @@ ObjectGraph::payloadBytes() const
 bool
 ObjectGraph::checkIntegrity() const
 {
-    for (const auto &obj : objects_) {
+    for (const auto &obj : objects()) {
         for (std::uint64_t ref : obj.refs) {
-            if (ref > objects_.size())
+            if (ref > objectCount())
                 return false;
         }
     }
@@ -117,11 +136,15 @@ ObjectGraph::checkIntegrity() const
 bool
 ObjectGraph::operator==(const ObjectGraph &other) const
 {
-    if (objects_.size() != other.objects_.size())
+    if (objects_ == other.objects_)
+        return true; // shared storage, structurally equal by definition
+    if (objectCount() != other.objectCount())
         return false;
-    for (std::size_t i = 0; i < objects_.size(); ++i) {
-        const auto &a = objects_[i];
-        const auto &b = other.objects_[i];
+    const auto &mine = objects();
+    const auto &theirs = other.objects();
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+        const auto &a = mine[i];
+        const auto &b = theirs[i];
         if (a.id != b.id || a.kind != b.kind ||
             a.payloadBytes != b.payloadBytes || a.refs != b.refs) {
             return false;

@@ -14,6 +14,7 @@
 #define CATALYZER_OBJGRAPH_OBJECT_GRAPH_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,13 @@ struct GraphSpec
  * The object graph itself. Objects are stored in id order; references
  * always point at already-created objects (the graph is a DAG plus
  * explicit back-links are not needed for the reproduction).
+ *
+ * Graphs share their object storage copy-on-write: copying a graph
+ * (e.g. handing the template's kernel state to every sfork'd instance)
+ * aliases one immutable vector, and the first mutation through
+ * addObject()/mutableObject() detaches a private copy. This mirrors the
+ * paper's separated state design, where instances reuse immutable
+ * kernel metadata instead of deserializing their own copy.
  */
 class ObjectGraph
 {
@@ -92,7 +100,10 @@ class ObjectGraph
     const MetaObject &object(std::uint64_t id) const;
     MetaObject &mutableObject(std::uint64_t id);
 
-    std::size_t objectCount() const { return objects_.size(); }
+    std::size_t objectCount() const
+    {
+        return objects_ ? objects_->size() : 0;
+    }
 
     /** Total non-null outgoing references. */
     std::size_t pointerCount() const;
@@ -101,7 +112,7 @@ class ObjectGraph
     std::size_t payloadBytes() const;
 
     /** All objects in id order. */
-    const std::vector<MetaObject> &objects() const { return objects_; }
+    const std::vector<MetaObject> &objects() const;
 
     /** Verify every reference resolves; returns false on dangling ids. */
     bool checkIntegrity() const;
@@ -113,7 +124,11 @@ class ObjectGraph
     static ObjectGraph synthesize(sim::Rng &rng, const GraphSpec &spec);
 
   private:
-    std::vector<MetaObject> objects_;
+    /** Clone the shared storage if any other graph aliases it. */
+    void detach();
+
+    /** Shared-immutable object storage; null means empty. */
+    std::shared_ptr<std::vector<MetaObject>> objects_;
 };
 
 } // namespace catalyzer::objgraph

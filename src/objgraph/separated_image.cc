@@ -4,7 +4,7 @@
 #include <cstring>
 #include <limits>
 #include <map>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "mem/types.h"
 #include "sim/logging.h"
@@ -109,13 +109,14 @@ SeparatedImage::build(const ObjectGraph &graph)
             order.push_back(obj.id);
     }
 
-    // Assign arena offsets in clustered order.
+    // Assign arena offsets in clustered order. Offsets are handed out
+    // by an ascending cursor, so offset_to_id_ comes out sorted.
     std::unordered_map<std::uint64_t, std::uint64_t> id_to_offset;
     std::uint64_t cursor = 0;
     for (std::uint64_t id : order) {
         const MetaObject &obj = graph.object(id);
         id_to_offset[id] = cursor;
-        image.offset_to_id_[cursor] = id;
+        image.offset_to_id_.emplace_back(cursor, id);
         cursor += slotBytesFor(obj.payloadBytes, obj.refs.size());
     }
     image.arena_bytes_ = cursor;
@@ -126,20 +127,20 @@ SeparatedImage::build(const ObjectGraph &graph)
     // pointer slots. The relation table records where every non-null
     // pointer lives and what arena offset it must resolve to.
     //
-    image.arena_.assign(image.arena_bytes_, 0);
+    std::vector<std::uint8_t> &arena = *image.arena_;
+    arena.assign(image.arena_bytes_, 0);
     image.stored_.reserve(objects.size());
     for (const auto &obj : objects) {
         const std::uint64_t base = id_to_offset.at(obj.id);
-        writeU64(image.arena_, base, obj.id);
-        image.arena_[base + 8] = static_cast<std::uint8_t>(obj.kind);
-        image.arena_[base + 9] =
+        writeU64(arena, base, obj.id);
+        arena[base + 8] = static_cast<std::uint8_t>(obj.kind);
+        arena[base + 9] =
             static_cast<std::uint8_t>(obj.refs.size() & 0xff);
-        image.arena_[base + 10] =
+        arena[base + 10] =
             static_cast<std::uint8_t>((obj.refs.size() >> 8) & 0xff);
-        writeU32(image.arena_, base + 12, obj.payloadBytes);
+        writeU32(arena, base + 12, obj.payloadBytes);
         for (std::uint32_t i = 0; i < obj.payloadBytes; ++i)
-            image.arena_[base + kObjectHeaderBytes + i] =
-                payloadByte(obj.id, i);
+            arena[base + kObjectHeaderBytes + i] = payloadByte(obj.id, i);
 
         image.stored_.push_back(StoredObject{
             obj.id, obj.kind, obj.payloadBytes, base,
@@ -153,30 +154,50 @@ SeparatedImage::build(const ObjectGraph &graph)
                 id_to_offset.at(target)});
         }
     }
+
+    // The stage-2 patch overlay: the same relocations, ordered by slot
+    // offset so a decode can binary-search the patched value of any
+    // slot instead of writing into a private arena copy.
+    image.overlay_ = image.relocs_;
+    std::sort(image.overlay_.begin(), image.overlay_.end(),
+              [](const Reloc &a, const Reloc &b) {
+                  return a.slotOffset < b.slotOffset;
+              });
+    for (const Reloc &reloc : image.relocs_) {
+        const std::uint64_t page = reloc.slotOffset / mem::kPageSize;
+        image.pointer_pages_.push_back(page);
+    }
+    std::sort(image.pointer_pages_.begin(), image.pointer_pages_.end());
+    image.pointer_pages_.erase(std::unique(image.pointer_pages_.begin(),
+                                           image.pointer_pages_.end()),
+                               image.pointer_pages_.end());
     return image;
 }
 
 ObjectGraph
 SeparatedImage::reconstruct(trace::TraceContext trace) const
 {
+    const std::vector<std::uint8_t> &arena = *arena_;
+
     //
-    // Stage-1: the arena is mapped as-is; we work on a private copy
-    // (the COW the overlay memory performs on the dirtied pages).
+    // Stage-1: the arena is mapped as-is. It is immutable and shared by
+    // every instance; nothing is copied here.
     //
-    std::vector<std::uint8_t> arena;
     {
         trace::ScopedSpan span(trace, "arena-map");
         span.attr("arena_bytes",
                   static_cast<std::int64_t>(arena_bytes_));
-        arena = arena_;
     }
 
     //
-    // Stage-2: apply the relation table — each entry writes the real
-    // pointer (as an arena offset) into its slot. Entries are
-    // independent; the real system patches them from parallel workers.
+    // Stage-2: apply the relation table — each entry resolves a pointer
+    // slot to its target's arena offset. Entries are independent; the
+    // real system patches them from parallel workers, COWing only the
+    // pages that hold slots. Here the patches stay in the overlay_
+    // table (sorted by slot offset) and the decode below reads slot
+    // values through it, so no per-instance arena copy exists at all.
     //
-    // Targets are written offset+1 so that a pointer to the object at
+    // Targets resolve to offset+1 so that a pointer to the object at
     // arena offset 0 stays distinguishable from a null slot.
     {
         trace::ScopedSpan span(trace, "relation-fixup");
@@ -186,17 +207,32 @@ SeparatedImage::reconstruct(trace::TraceContext trace) const
         for (const Reloc &reloc : relocs_) {
             if (reloc.slotOffset + kPointerSlotBytes > arena.size())
                 sim::panic("SeparatedImage: slot offset beyond arena");
-            writeU64(arena, reloc.slotOffset, reloc.targetOffset + 1);
         }
     }
 
     trace::ScopedSpan decode_span(trace, "arena-decode");
     decode_span.attr("objects", static_cast<std::int64_t>(stored_.size()));
 
+    // The decode is a pure function of the immutable arena, so its
+    // result is computed and verified once; every later boot receives a
+    // copy-on-write alias of the same graph.
+    if (decoded_valid_)
+        return decoded_;
+
+    // Patched value of the slot at @p off: overlay entry if one covers
+    // it, the pristine (zeroed) arena byte otherwise.
+    auto slotValue = [&](std::uint64_t off) {
+        auto it = std::lower_bound(
+            overlay_.begin(), overlay_.end(), off,
+            [](const Reloc &r, std::uint64_t o) { return r.slotOffset < o; });
+        if (it != overlay_.end() && it->slotOffset == off)
+            return it->targetOffset + 1;
+        return readU64(arena, off);
+    };
+
     //
     // Decode pass 1: scan the packed objects, collecting headers and
-    // raw slot values, and build the offset -> id map from the bytes
-    // themselves.
+    // patched slot values from the bytes themselves.
     //
     struct Decoded
     {
@@ -207,7 +243,6 @@ SeparatedImage::reconstruct(trace::TraceContext trace) const
     };
     std::vector<Decoded> decoded;
     decoded.reserve(stored_.size());
-    std::unordered_map<std::uint64_t, std::uint64_t> offset_to_id;
     std::uint64_t cursor = 0;
     while (cursor < arena.size()) {
         Decoded d;
@@ -233,9 +268,8 @@ SeparatedImage::reconstruct(trace::TraceContext trace) const
         d.raw_slots.reserve(slots);
         for (std::uint16_t s = 0; s < slots; ++s)
             d.raw_slots.push_back(
-                readU64(arena, slot_base + s * kPointerSlotBytes));
+                slotValue(slot_base + s * kPointerSlotBytes));
 
-        offset_to_id[cursor] = d.id;
         cursor = slot_base + slots * kPointerSlotBytes;
         decoded.push_back(std::move(d));
     }
@@ -264,13 +298,19 @@ SeparatedImage::reconstruct(trace::TraceContext trace) const
                 refs.push_back(0);
                 continue;
             }
-            auto it = offset_to_id.find(raw - 1);
-            if (it == offset_to_id.end())
+            const std::uint64_t target = raw - 1;
+            auto it = std::lower_bound(
+                offset_to_id_.begin(), offset_to_id_.end(), target,
+                [](const std::pair<std::uint64_t, std::uint64_t> &p,
+                   std::uint64_t off) { return p.first < off; });
+            if (it == offset_to_id_.end() || it->first != target)
                 sim::panic("SeparatedImage: dangling target offset");
             refs.push_back(it->second);
         }
         graph.addObject(d.kind, d.payload, std::move(refs));
     }
+    decoded_ = graph;
+    decoded_valid_ = true;
     return graph;
 }
 
@@ -280,24 +320,10 @@ SeparatedImage::arenaPages() const
     return mem::pagesForBytes(arena_bytes_);
 }
 
-std::size_t
-SeparatedImage::pointerPages() const
-{
-    std::unordered_set<std::uint64_t> pages;
-    for (const Reloc &reloc : relocs_)
-        pages.insert(reloc.slotOffset / mem::kPageSize);
-    return pages.size();
-}
-
 std::vector<std::uint64_t>
 SeparatedImage::pointerPageList() const
 {
-    std::unordered_set<std::uint64_t> pages;
-    for (const Reloc &reloc : relocs_)
-        pages.insert(reloc.slotOffset / mem::kPageSize);
-    std::vector<std::uint64_t> out(pages.begin(), pages.end());
-    std::sort(out.begin(), out.end());
-    return out;
+    return pointer_pages_;
 }
 
 } // namespace catalyzer::objgraph

@@ -14,7 +14,7 @@
 #define CATALYZER_OBJGRAPH_SEPARATED_IMAGE_H
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "objgraph/object_graph.h"
@@ -51,8 +51,15 @@ class SeparatedImage
 
     /**
      * Stage-1 + stage-2: rebuild the full object graph by applying the
-     * relation table to the zeroed arena copies. The result is
-     * bit-identical to the checkpointed graph.
+     * relation table to the arena. The result is bit-identical to the
+     * checkpointed graph.
+     *
+     * The arena itself is immutable and shared — stage-2 never copies
+     * it. Patched pointer slots are read through the relation table as
+     * an overlay (the per-instance COW pages of the real system), and
+     * because the decode is a pure function of the arena, its result is
+     * computed once and handed out as a shared copy-on-write graph on
+     * every later boot.
      *
      * With an enabled @p trace, emits "arena-map", "relation-fixup" and
      * "arena-decode" child spans annotated with object/reloc counts
@@ -69,7 +76,7 @@ class SeparatedImage
     std::size_t arenaPages() const;
 
     /** Distinct arena pages containing at least one patched slot. */
-    std::size_t pointerPages() const;
+    std::size_t pointerPages() const { return pointer_pages_.size(); }
 
     /**
      * Sorted arena-relative page indices dirtied by stage-2 patching.
@@ -88,13 +95,20 @@ class SeparatedImage
     const std::vector<Reloc> &relocs() const { return relocs_; }
 
     /** Raw arena bytes (the image's metadata section contents). */
-    const std::vector<std::uint8_t> &arena() const { return arena_; }
+    const std::vector<std::uint8_t> &arena() const { return *arena_; }
 
-    /** Test support: flip one arena byte (simulated storage rot). */
+    /**
+     * Test support: flip one arena byte (simulated storage rot).
+     * Detaches from any sharers and drops the cached decode so the
+     * corruption is actually re-read.
+     */
     void
     corruptByteForTesting(std::uint64_t offset)
     {
-        arena_.at(offset) ^= 0xff;
+        if (arena_.use_count() > 1)
+            arena_ = std::make_shared<std::vector<std::uint8_t>>(*arena_);
+        arena_->at(offset) ^= 0xff;
+        decoded_valid_ = false;
     }
 
   private:
@@ -110,10 +124,24 @@ class SeparatedImage
 
     std::vector<StoredObject> stored_;            // id order
     std::vector<Reloc> relocs_;
-    std::unordered_map<std::uint64_t, std::uint64_t> offset_to_id_;
+    /** relocs_ re-sorted by slot offset: the stage-2 patch overlay. */
+    std::vector<Reloc> overlay_;
+    /** (arena offset, object id), sorted by offset. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> offset_to_id_;
+    /** Sorted distinct arena pages containing patched slots. */
+    std::vector<std::uint64_t> pointer_pages_;
     std::size_t arena_bytes_ = 0;
-    /** The real arena: packed headers, payload fill, zeroed slots. */
-    std::vector<std::uint8_t> arena_;
+    /**
+     * The real arena: packed headers, payload fill, zeroed slots.
+     * Shared immutably across image copies and never written after
+     * build() (outside the corruption test hook).
+     */
+    std::shared_ptr<std::vector<std::uint8_t>> arena_ =
+        std::make_shared<std::vector<std::uint8_t>>();
+
+    /** One-shot decode cache: reconstruct() is pure in the arena. */
+    mutable ObjectGraph decoded_;
+    mutable bool decoded_valid_ = false;
 };
 
 } // namespace catalyzer::objgraph

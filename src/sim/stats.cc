@@ -142,6 +142,17 @@ LatencySeries::max() const
     return *std::max_element(samples_.begin(), samples_.end());
 }
 
+const std::vector<double> &
+LatencySeries::sortedCache() const
+{
+    if (!sorted_valid_) {
+        sorted_cache_ = samples_;
+        std::sort(sorted_cache_.begin(), sorted_cache_.end());
+        sorted_valid_ = true;
+    }
+    return sorted_cache_;
+}
+
 double
 LatencySeries::percentile(double p) const
 {
@@ -149,7 +160,7 @@ LatencySeries::percentile(double p) const
         panic("LatencySeries::percentile: p=%f out of range", p);
     if (samples_.empty())
         return kNaN;
-    auto s = sorted();
+    const auto &s = sortedCache();
     if (s.size() == 1)
         return s.front();
     const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
@@ -165,18 +176,16 @@ LatencySeries::cdfAt(double x) const
 {
     if (samples_.empty())
         return kNaN;
-    const auto n = static_cast<double>(samples_.size());
-    const auto below = std::count_if(samples_.begin(), samples_.end(),
-                                     [x](double v) { return v <= x; });
-    return static_cast<double>(below) / n;
+    const auto &s = sortedCache();
+    const auto below =
+        std::upper_bound(s.begin(), s.end(), x) - s.begin();
+    return static_cast<double>(below) / static_cast<double>(s.size());
 }
 
 std::vector<double>
 LatencySeries::sorted() const
 {
-    std::vector<double> s = samples_;
-    std::sort(s.begin(), s.end());
-    return s;
+    return sortedCache();
 }
 
 } // namespace catalyzer::sim

@@ -30,8 +30,19 @@ class LatencySeries
 {
   public:
     /** Record one sample. */
-    void add(SimTime t) { samples_.push_back(t.toMs()); }
-    void addMs(double ms) { samples_.push_back(ms); }
+    void
+    add(SimTime t)
+    {
+        samples_.push_back(t.toMs());
+        sorted_valid_ = false;
+    }
+
+    void
+    addMs(double ms)
+    {
+        samples_.push_back(ms);
+        sorted_valid_ = false;
+    }
 
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
@@ -57,10 +68,26 @@ class LatencySeries
 
     const std::vector<double> &raw() const { return samples_; }
 
-    void clear() { samples_.clear(); }
+    void
+    clear()
+    {
+        samples_.clear();
+        sorted_cache_.clear();
+        sorted_valid_ = false;
+    }
 
   private:
+    /** Sorted view of samples_, rebuilt lazily after mutations. */
+    const std::vector<double> &sortedCache() const;
+
     std::vector<double> samples_;
+    /**
+     * Cache for percentile/cdfAt/sorted: reporting code asks for p50,
+     * p90 and p99 back to back, and re-sorting the series for each
+     * query is quadratic-ish in practice. Invalidated by any add.
+     */
+    mutable std::vector<double> sorted_cache_;
+    mutable bool sorted_valid_ = false;
 };
 
 /**

@@ -68,13 +68,10 @@ EagerRestoreEngine::restore(FuncImage &image, guest::GuestKernel &guest,
         trace::ScopedSpan span(trace, "restore-reconnect-io");
         span.attr("connections",
                   static_cast<std::int64_t>(image.ioTable().size()));
-        for (const vfs::IoConnection &saved : image.ioTable()) {
-            const std::uint64_t id = guest.io().add(
-                saved.kind, saved.path, saved.usedAtStartup,
-                saved.usedByRequests);
-            vfs::IoConnection *conn = guest.io().find(id);
-            conn->established = false;
-            reconnectConnection(ctx_, *conn, server, span.context());
+        guest.io().cloneFrom(image.ioTable());
+        for (vfs::IoConnection &conn : guest.io().all()) {
+            conn.established = false;
+            reconnectConnection(ctx_, conn, server, span.context());
         }
         guest.syncFdTable();
     }

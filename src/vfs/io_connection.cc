@@ -30,6 +30,15 @@ IoConnectionTable::add(ConnKind kind, std::string path,
     return conns_.back().id;
 }
 
+void
+IoConnectionTable::cloneFrom(const std::vector<IoConnection> &saved)
+{
+    conns_ = saved;
+    next_id_ = 1;
+    for (auto &conn : conns_)
+        conn.id = next_id_++;
+}
+
 IoConnection *
 IoConnectionTable::find(std::uint64_t id)
 {

@@ -49,6 +49,14 @@ class IoConnectionTable
     std::uint64_t add(ConnKind kind, std::string path, bool used_at_startup,
                       bool used_by_requests);
 
+    /**
+     * Replace this table with a copy of @p saved, re-assigning ids in
+     * creation order — one bulk copy instead of one add() per
+     * connection. Establishment flags are copied verbatim; callers
+     * apply their restore policy (drop sockets, drop all) on top.
+     */
+    void cloneFrom(const std::vector<IoConnection> &saved);
+
     IoConnection *find(std::uint64_t id);
     const IoConnection *find(std::uint64_t id) const;
 

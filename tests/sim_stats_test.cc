@@ -85,6 +85,31 @@ TEST(LatencySeriesTest, EmptySeriesStatisticsAreNaN)
     EXPECT_TRUE(std::isnan(s.cdfAt(0.0)));
 }
 
+TEST(LatencySeriesTest, SortedCacheInvalidatedByMutation)
+{
+    // Regression test for the percentile sorted-cache: queries after
+    // further adds (or a clear) must see the new samples, not a stale
+    // sorted snapshot.
+    LatencySeries s;
+    s.addMs(10.0);
+    s.addMs(20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 20.0); // populates the cache
+    EXPECT_DOUBLE_EQ(s.cdfAt(5.0), 0.0);
+    s.addMs(1.0); // mutation must invalidate the cache
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+    EXPECT_DOUBLE_EQ(s.cdfAt(5.0), 1.0 / 3.0);
+    ASSERT_EQ(s.sorted().size(), 3u);
+    EXPECT_DOUBLE_EQ(s.sorted().front(), 1.0);
+    s.clear();
+    EXPECT_TRUE(std::isnan(s.percentile(50)));
+    s.add(2_ms); // add(SimTime) must invalidate too
+    EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+    // Repeated queries on an unchanged series stay consistent.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(s.percentile(100), 2.0);
+}
+
 TEST(StatRegistryTest, HistogramsObserveAndSnapshot)
 {
     StatRegistry stats;
