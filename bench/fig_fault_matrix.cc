@@ -14,6 +14,14 @@
  * each edge of the fallback chain (sfork -> warm -> cold -> fresh) and
  * prints which tier served each request, verifying every degradation
  * edge fires at least once.
+ *
+ * Part 3 moves the faults onto the network: on a two-machine cluster
+ * with the modeled fabric it kills the lending peer at the remote-sfork
+ * handshake (degrade to the local chain) and mid-demand-pull (reroute
+ * the pager to origin storage), flaps the link under a pull batch and
+ * under an image stream, and advertises a replica that is gone by the
+ * time it is asked (P2P miss falls back to origin). No scenario may let
+ * an exception escape invoke(): every request is still served.
  */
 
 #include <cstdio>
@@ -22,7 +30,10 @@
 
 #include "bench_util.h"
 #include "catalyzer/runtime.h"
+#include "net/remote_pager.h"
+#include "platform/cluster.h"
 #include "platform/platform.h"
+#include "sandbox/pipelines.h"
 #include "sim/table.h"
 
 using namespace catalyzer;
@@ -150,6 +161,127 @@ runScriptedChain()
     return ok;
 }
 
+/**
+ * Part 3: network fault sites on a two-machine cluster. Machine 0 lends
+ * its template and serves P2P image streams; machine 1 (the borrower)
+ * takes every injected hit.
+ */
+bool
+runNetworkFaults()
+{
+    net::FabricConfig fabric;
+    fabric.modelTransfers = true;
+    fabric.remoteFork = true;
+    fabric.p2pImages = true;
+    platform::Cluster cluster(
+        2, platform::PlacementPolicy::RoundRobin,
+        platform::PlatformConfig{platform::BootStrategy::CatalyzerAuto},
+        {}, sim::CostModel{}, 42, fabric);
+    const apps::AppProfile &app = apps::appByName("python-hello");
+    cluster.deploy(app);
+    cluster.platform(0).prepare(app);
+    auto &borrower = cluster.platform(1);
+    auto &faults = borrower.catalyzer().faults();
+    auto &stats = cluster.machine(1).ctx().stats();
+
+    sim::TextTable table(
+        "Scripted network faults (borrower = machine 1)");
+    table.setHeader({"scenario", "outcome", "check"});
+    bool ok = true;
+    auto row = [&](const char *label, const std::string &outcome,
+                   bool good) {
+        table.addRow({label, outcome, good ? "ok" : "FAIL"});
+        ok = ok && good;
+    };
+
+    // Lender dies at the remote-sfork handshake: the borrower degrades
+    // to its local chain and still serves the request.
+    faults.failNext(faults::FaultSite::RemotePeerDeath);
+    auto record = borrower.invoke(app.name);
+    row("peer death at handshake",
+        "served by " + record.tierServed + " tier",
+        record.tierServed != "remote-sfork" &&
+            stats.value("boot.fallback.remote-sfork_warm") == 1);
+    borrower.teardown(app.name);
+
+    // Healthy remote-sfork to get a borrowed instance whose lifetime
+    // pager still owes most of the heap.
+    record = borrower.invoke(app.name);
+    if (record.tierServed != "remote-sfork") {
+        std::fprintf(stderr, "FAIL: expected a remote-sfork boot, got "
+                             "%s\n",
+                     record.tierServed.c_str());
+        return false;
+    }
+    auto instances = borrower.instancesOf(app.name);
+    sandbox::SandboxInstance *inst = instances.front();
+    const auto *pager = dynamic_cast<const net::RemotePager *>(
+        inst->lifetimePager());
+    const std::size_t half = inst->heapPages() / 2;
+
+    // Link flap under a demand-pull batch: one attempt timeout, then
+    // the retry succeeds against the same lender.
+    faults.failNext(faults::FaultSite::NetLink);
+    const auto pulls0 = stats.value("remote.page_pulls");
+    inst->space().touchRange(inst->heapVa(), half, /*write=*/false);
+    row("link flap during pull",
+        std::to_string(stats.value("net.link_retries")) +
+            " retry, still on the lender",
+        stats.value("net.link_retries") == 1 && pager != nullptr &&
+            pager->source() != net::kOriginStorage &&
+            stats.value("remote.page_pulls") > pulls0);
+
+    // Lender dies mid-pull: the pager reroutes the remaining window to
+    // origin storage instead of throwing inside invoke().
+    faults.failNext(faults::FaultSite::RemotePeerDeath);
+    const auto lost0 = stats.value("remote.peer_lost");
+    const auto pulls1 = stats.value("remote.page_pulls");
+    inst->space().touchRange(inst->heapVa() + half, half,
+                             /*write=*/false);
+    row("peer death mid-pull", "pager rerouted to origin",
+        stats.value("remote.peer_lost") == lost0 + 1 &&
+            pager != nullptr &&
+            pager->source() == net::kOriginStorage &&
+            stats.value("remote.page_pulls") > pulls1);
+
+    // P2P replica miss: the advertised copy is gone; the fetch drops
+    // the stale advertisement and streams from origin.
+    const apps::AppProfile &app2 = apps::appByName("c-nginx");
+    cluster.deploy(app2);
+    for (std::size_t i = 0; i < 2; ++i) {
+        auto &plat = cluster.platform(i);
+        auto image = sandbox::ensureSeparatedImage(
+            plat.registry().artifactsFor(app2));
+        plat.catalyzer().images().publish(image);
+        plat.catalyzer().images().evictLocal(
+            app2.name, snapshot::ImageFormat::SeparatedWellFormed);
+    }
+    cluster.platform(0).catalyzer().images().fetch(
+        app2.name, snapshot::ImageFormat::SeparatedWellFormed);
+    faults.failNext(faults::FaultSite::ReplicaMiss);
+    auto fetched = borrower.catalyzer().images().fetch(
+        app2.name, snapshot::ImageFormat::SeparatedWellFormed);
+    row("replica miss on p2p fetch", "streamed from origin",
+        fetched != nullptr &&
+            stats.value("snapshot.replica_misses") == 1 &&
+            stats.value("snapshot.p2p_fetches") == 0);
+
+    // Link drop mid image stream: one chunk retry, the rest of the
+    // stream rerouted to origin, fetch still all-or-nothing.
+    borrower.catalyzer().images().evictLocal(
+        app2.name, snapshot::ImageFormat::SeparatedWellFormed);
+    faults.failNext(faults::FaultSite::NetLink);
+    fetched = borrower.catalyzer().images().fetch(
+        app2.name, snapshot::ImageFormat::SeparatedWellFormed);
+    row("link drop mid image stream",
+        std::to_string(stats.value("net.link_reroutes")) +
+            " chunk rerouted",
+        fetched != nullptr && stats.value("net.link_reroutes") == 1);
+
+    table.print();
+    return ok;
+}
+
 } // namespace
 
 int
@@ -182,6 +314,8 @@ main()
     std::printf("\n");
 
     bool ok = runScriptedChain();
+    std::printf("\n");
+    ok = runNetworkFaults() && ok;
 
     // Self-checks for CI smoke runs.
     if (rows.front().injected != 0 || rows.front().fallbacks != 0) {
@@ -207,7 +341,8 @@ main()
         return 1;
 
     std::printf("\nboot p99 grows monotonically with the failure rate; "
-                "every fallback edge fired.\n");
+                "every fallback edge fired;\nevery network fault "
+                "degraded in place without failing the request.\n");
     bench::footer();
     return 0;
 }

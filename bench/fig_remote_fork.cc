@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Remote-sfork crossover (extension, MITOSIS-style): what borrowing a
+ * peer's template over the datacenter fabric buys against shipping the
+ * whole func-image from origin storage.
+ *
+ * Part 1 sweeps image size across four ways a machine with *nothing*
+ * local can serve its first request:
+ *
+ *   local-sfork       the template already lives here (Catalyzer's own
+ *                     best case, for scale)
+ *   remote-sfork      borrow a peer's template: one-RTT handshake,
+ *                     stream the metadata section, pull memory pages on
+ *                     demand in batches over the lender's NIC
+ *   p2p-fetch-cold    fetch the full image from the nearest replica
+ *                     machine, then cold-restore it
+ *   origin-fetch-cold fetch the full image from origin blob storage
+ *                     (the pre-fabric remoteImages path), then restore
+ *
+ * Part 2 fixes the function and grows the fleet: N-1 borrowers fork
+ * from one lender whose NIC is shared — every retained borrower keeps a
+ * demand-pull stream open, so later borrowers pay contention (and, past
+ * a rack boundary, cross-rack RTT).
+ *
+ * Setup (image build, template preparation, replica seeding) runs off
+ * the measured clock; each cell reports the borrower machine's
+ * virtual-clock delta around its first invocation.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "platform/cluster.h"
+#include "sandbox/pipelines.h"
+#include "sim/table.h"
+
+using namespace catalyzer;
+using platform::BootStrategy;
+using platform::Cluster;
+using platform::PlacementPolicy;
+using platform::PlatformConfig;
+
+namespace {
+
+const char *const kApps[] = {"c-hello", "python-hello", "python-django",
+                             "java-specjbb"};
+constexpr const char *kFleetApp = "python-django";
+const std::size_t kFleets[] = {2, 4, 8, 16};
+
+net::FabricConfig
+modeledFabric(bool remote_fork, bool p2p)
+{
+    net::FabricConfig config;
+    config.modelTransfers = true;
+    config.remoteFork = remote_fork;
+    config.p2pImages = p2p;
+    return config;
+}
+
+/** Virtual-clock cost of machine 1's first invocation. */
+double
+measureBorrower(Cluster &cluster, const std::string &name,
+                const char *expected_tier)
+{
+    auto &ctx = cluster.machine(1).ctx();
+    const sim::SimTime before = ctx.now();
+    const auto record = cluster.platform(1).invoke(name);
+    if (expected_tier && record.tierServed != expected_tier) {
+        std::fprintf(stderr, "FAIL: %s served by tier %s, expected %s\n",
+                     name.c_str(), record.tierServed.c_str(),
+                     expected_tier);
+        std::exit(1);
+    }
+    return (cluster.machine(1).ctx().now() - before).toMs();
+}
+
+double
+runSfork(const apps::AppProfile &app, bool remote)
+{
+    Cluster cluster(2, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerAuto}, {},
+                    sim::CostModel{}, 42, modeledFabric(true, false));
+    cluster.deploy(app);
+    // The template lives on the borrower itself (local) or only on the
+    // peer (remote); prepare() runs off the measured delta either way.
+    cluster.platform(remote ? 0 : 1).prepare(app);
+    return measureBorrower(cluster, app.name,
+                           remote ? "remote-sfork" : "sfork");
+}
+
+/** Pre-build and publish so the measured boot pays fetch + restore. */
+void
+publishAndEvict(platform::ServerlessPlatform &plat,
+                const apps::AppProfile &app)
+{
+    auto image =
+        sandbox::ensureSeparatedImage(plat.registry().artifactsFor(app));
+    plat.catalyzer().images().publish(image);
+    plat.catalyzer().images().evictLocal(
+        app.name, snapshot::ImageFormat::SeparatedWellFormed);
+}
+
+double
+runFetchCold(const apps::AppProfile &app, bool p2p, double *image_mib)
+{
+    core::CatalyzerOptions options;
+    options.remoteImages = true;
+    Cluster cluster(2, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerCold}, options,
+                    sim::CostModel{}, 42, modeledFabric(false, p2p));
+    cluster.deploy(app);
+    publishAndEvict(cluster.platform(1), app);
+    if (image_mib) {
+        const auto &fn = cluster.platform(1).registry().artifactsFor(app);
+        *image_mib =
+            static_cast<double>(
+                mem::bytesForPages(fn.separatedImage->totalPages())) /
+            (1024.0 * 1024.0);
+    }
+    if (p2p) {
+        // Seed one replica: machine 0 fetches from origin first, so the
+        // borrower's fetch streams from a peer instead.
+        publishAndEvict(cluster.platform(0), app);
+        cluster.platform(0).catalyzer().images().fetch(
+            app.name, snapshot::ImageFormat::SeparatedWellFormed);
+    }
+    const double ms = measureBorrower(cluster, app.name, "cold");
+    if (p2p && cluster.machine(1).ctx().stats().value(
+                   "snapshot.p2p_fetches") != 1) {
+        std::fprintf(stderr, "FAIL: %s p2p cell fetched from origin\n",
+                     app.name.c_str());
+        std::exit(1);
+    }
+    return ms;
+}
+
+struct AppRow
+{
+    std::string name;
+    double mib = 0.0;
+    double local = 0.0, remote = 0.0, p2p = 0.0, origin = 0.0;
+};
+
+struct FleetRow
+{
+    std::size_t machines = 0;
+    double first = 0.0, avg = 0.0, max = 0.0;
+    std::size_t lenderStreams = 0;
+};
+
+FleetRow
+runFleet(std::size_t machines)
+{
+    Cluster cluster(machines, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerAuto}, {},
+                    sim::CostModel{}, 42, modeledFabric(true, false));
+    const apps::AppProfile &app = apps::appByName(kFleetApp);
+    cluster.deploy(app);
+    cluster.platform(0).prepare(app);
+
+    FleetRow row;
+    row.machines = machines;
+    double total = 0.0;
+    for (std::size_t i = 1; i < machines; ++i) {
+        auto &ctx = cluster.machine(i).ctx();
+        const sim::SimTime before = ctx.now();
+        const auto record = cluster.platform(i).invoke(app.name);
+        if (record.tierServed != "remote-sfork") {
+            std::fprintf(stderr,
+                         "FAIL: fleet borrower %zu served by %s\n", i,
+                         record.tierServed.c_str());
+            std::exit(1);
+        }
+        const double ms = (ctx.now() - before).toMs();
+        if (i == 1)
+            row.first = ms;
+        row.max = std::max(row.max, ms);
+        total += ms;
+    }
+    row.avg = total / static_cast<double>(machines - 1);
+    // Retained borrowers keep their demand-pull stream on the lender.
+    row.lenderStreams = cluster.fabric().openStreams(0);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Remote-sfork crossover (extension)",
+        "Borrowing a peer's template vs fetching the func-image, by\n"
+        "image size and fleet size (MITOSIS-style remote fork).");
+
+    std::vector<AppRow> rows;
+    for (const char *name : kApps) {
+        const apps::AppProfile &app = apps::appByName(name);
+        AppRow row;
+        row.name = name;
+        row.local = runSfork(app, /*remote=*/false);
+        row.remote = runSfork(app, /*remote=*/true);
+        row.p2p = runFetchCold(app, /*p2p=*/true, nullptr);
+        row.origin = runFetchCold(app, /*p2p=*/false, &row.mib);
+        rows.push_back(row);
+    }
+
+    sim::TextTable table("First request on an empty machine, by source "
+                         "of the function state (ms)");
+    table.setHeader({"function", "image", "local-sfork", "remote-sfork",
+                     "p2p-fetch-cold", "origin-fetch-cold",
+                     "remote vs origin"});
+    for (const AppRow &r : rows) {
+        table.addRow({r.name, sim::fmtBytes(r.mib * 1024.0 * 1024.0),
+                      sim::fmtMs(r.local), sim::fmtMs(r.remote),
+                      sim::fmtMs(r.p2p), sim::fmtMs(r.origin),
+                      sim::fmtSpeedup(r.origin / r.remote)});
+    }
+    table.print();
+
+    const AppRow *crossover = nullptr;
+    for (const AppRow &r : rows)
+        if (r.remote < r.origin && (!crossover || r.mib < crossover->mib))
+            crossover = &r;
+    if (crossover)
+        std::printf("\ncrossover: remote-sfork already wins at %s "
+                    "(%s image, %s vs %s)\n",
+                    crossover->name.c_str(),
+                    sim::fmtBytes(crossover->mib * 1024.0 * 1024.0)
+                        .c_str(),
+                    sim::fmtMs(crossover->remote).c_str(),
+                    sim::fmtMs(crossover->origin).c_str());
+
+    std::printf("\n");
+    std::vector<FleetRow> fleets;
+    for (std::size_t n : kFleets)
+        fleets.push_back(runFleet(n));
+
+    sim::TextTable fleet_table(
+        std::string("Fleet sweep: N-1 borrowers remote-sfork ") +
+        kFleetApp + " from one lender (ms per borrower)");
+    fleet_table.setHeader({"machines", "borrowers", "first", "avg",
+                           "max", "lender streams"});
+    for (const FleetRow &f : fleets) {
+        fleet_table.addRow({std::to_string(f.machines),
+                            std::to_string(f.machines - 1),
+                            sim::fmtMs(f.first), sim::fmtMs(f.avg),
+                            sim::fmtMs(f.max),
+                            std::to_string(f.lenderStreams)});
+    }
+    fleet_table.print();
+    std::printf("\nlater borrowers pay lender-NIC contention (one open "
+                "pull stream per retained borrower)\nand, past %zu "
+                "machines, cross-rack RTT.\n",
+                static_cast<std::size_t>(
+                    net::FabricConfig{}.machinesPerRack));
+
+    // Self-checks, in every run (CI smoke included).
+    bool ok = true;
+    for (const AppRow &r : rows) {
+        if (r.mib >= 20.0 && r.remote >= r.origin) {
+            std::fprintf(stderr,
+                         "FAIL: remote-sfork lost to origin fetch on "
+                         "%s (%.1f MiB)\n",
+                         r.name.c_str(), r.mib);
+            ok = false;
+        }
+        if (r.p2p > r.origin) {
+            std::fprintf(stderr,
+                         "FAIL: p2p fetch slower than origin on %s\n",
+                         r.name.c_str());
+            ok = false;
+        }
+        if (r.local >= r.remote) {
+            std::fprintf(stderr,
+                         "FAIL: local sfork not cheaper than remote "
+                         "on %s\n",
+                         r.name.c_str());
+            ok = false;
+        }
+    }
+    const FleetRow &largest = fleets.back();
+    if (largest.max <= largest.first) {
+        std::fprintf(stderr, "FAIL: no contention growth across %zu "
+                             "borrowers\n",
+                     largest.machines - 1);
+        ok = false;
+    }
+    if (largest.lenderStreams != largest.machines - 1) {
+        std::fprintf(stderr,
+                     "FAIL: expected %zu retained pull streams on the "
+                     "lender, saw %zu\n",
+                     largest.machines - 1, largest.lenderStreams);
+        ok = false;
+    }
+
+    // The release-perf job additionally pins the headline ratio.
+    if (const char *assert_env = std::getenv("FIG_REMOTE_FORK_ASSERT");
+        assert_env && assert_env[0] == '1') {
+        for (const AppRow &r : rows) {
+            if (r.mib >= 20.0 && r.origin / r.remote < 1.5) {
+                std::fprintf(stderr,
+                             "FAIL: remote-sfork speedup on %s is "
+                             "%.2fx, expected >= 1.5x\n",
+                             r.name.c_str(), r.origin / r.remote);
+                ok = false;
+            }
+        }
+    }
+    if (!ok)
+        return 1;
+
+    bench::footer();
+    return 0;
+}

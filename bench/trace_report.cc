@@ -8,6 +8,10 @@
  *   - trace_report.metrics.json  the machine's unified StatRegistry
  *                                snapshot (counters + p50/p90/p99
  *                                boot-latency histograms per system)
+ *   - trace_report.cluster.json  a fleet-wide snapshot from a small
+ *                                remote-sfork cluster: every machine's
+ *                                counters summed and histograms merged
+ *                                (Cluster::statsSnapshot)
  *
  * and prints the span tree of the first Catalyzer cold boot plus a
  * boot-latency summary table.
@@ -19,6 +23,7 @@
 
 #include "bench_util.h"
 #include "catalyzer/runtime.h"
+#include "platform/cluster.h"
 #include "sandbox/pipelines.h"
 #include "sim/table.h"
 #include "trace/export.h"
@@ -160,6 +165,50 @@ main()
         }
         machine.ctx().stats().writeJson(os);
         std::printf("wrote trace_report.metrics.json\n");
+    }
+
+    //
+    // Fleet view (distributed layer): a small cluster where machine 0
+    // lends its template over the modeled fabric and the others
+    // remote-sfork from it. The aggregated snapshot sums every
+    // machine's counters (net.*, remote.*, platform.*) and merges the
+    // histograms, which no single machine's metrics file can show.
+    //
+    {
+        net::FabricConfig fabric;
+        fabric.modelTransfers = true;
+        fabric.remoteFork = true;
+        platform::Cluster cluster(
+            3, platform::PlacementPolicy::RoundRobin,
+            platform::PlatformConfig{
+                platform::BootStrategy::CatalyzerAuto},
+            {}, sim::CostModel{}, 42, fabric);
+        const apps::AppProfile &app = apps::appByName("python-hello");
+        cluster.deploy(app);
+        cluster.platform(0).prepare(app);
+        for (int i = 0; i < 6; ++i)
+            cluster.invoke(app.name);
+
+        std::ofstream os("trace_report.cluster.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write cluster json\n");
+            return 1;
+        }
+        cluster.statsSnapshot(os);
+        std::printf("wrote trace_report.cluster.json "
+                    "(3 machines, %lld remote forks, %lld fabric "
+                    "transfers fleet-wide)\n",
+                    static_cast<long long>(
+                        cluster.machine(1).ctx().stats().value(
+                            "remote.fork_hits") +
+                        cluster.machine(2).ctx().stats().value(
+                            "remote.fork_hits")),
+                    static_cast<long long>(
+                        cluster.machine(1).ctx().stats().value(
+                            "net.transfers") +
+                        cluster.machine(2).ctx().stats().value(
+                            "net.transfers")));
     }
 
     bench::footer();

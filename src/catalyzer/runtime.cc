@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "guest/syscall_policy.h"
+#include "net/remote_pager.h"
 #include "prefetch/fault_recorder.h"
 #include "prefetch/prefetcher.h"
 #include "sim/clock.h"
@@ -576,6 +577,271 @@ CatalyzerRuntime::bootFork(FunctionArtifacts &fn,
     result.instance->setBootLatency(result.report.total());
     machine_.ctx().stats().observe("boot.latency.Catalyzer-sfork",
                                    result.report.total());
+    return result;
+}
+
+BootResult
+CatalyzerRuntime::bootRemoteFork(FunctionArtifacts &fn,
+                                 const RemoteForkSource &src,
+                                 trace::TraceContext trace)
+{
+    auto &ctx = machine_.ctx();
+    const auto &costs = ctx.costs();
+    const apps::AppProfile &app = fn.app();
+    std::shared_ptr<snapshot::FuncImage> image = src.image;
+
+    // The lender may be gone by the time the fork request arrives; like
+    // template death, no retry makes sense — fail the tier now so the
+    // platform degrades to the local chain.
+    if (injector_.shouldFail(faults::FaultSite::RemotePeerDeath,
+                             ctx.stats())) {
+        ctx.stats().incr("remote.peer_lost");
+        throw faults::FaultError(faults::FaultSite::RemotePeerDeath,
+                                 app.name + " fork peer " +
+                                     std::to_string(src.peer) +
+                                     " unreachable");
+    }
+
+    sim::StatRegistry::global().incr("bench.boots");
+    trace::ScopedSpan boot_span(trace, "boot/Catalyzer-remote-sfork");
+    boot_span.attr("function", app.name);
+    boot_span.attr("peer", static_cast<std::int64_t>(src.peer));
+    const trace::TraceContext tctx = boot_span.context();
+
+    BootResult result;
+    result.report.bindTrace(tctx);
+    sim::Stopwatch watch(ctx.clock());
+    const std::string tag = "rfork" + std::to_string(boot_seq_++);
+
+    //
+    // Handshake: one round trip fetches the fork descriptor (the
+    // template's layout, thread contexts and relation-table index) from
+    // the lender. The memory itself stays remote.
+    //
+    {
+        trace::ScopedSpan span(tctx, "remote-handshake");
+        span.attr("peer", static_cast<std::int64_t>(src.peer));
+        src.fabric->transfer(ctx, src.peer, src.self, 4096,
+                             "fork-descriptor", span.context());
+    }
+    result.report.addSandboxStage("remote-handshake", watch.elapsed(),
+                                  /*emit_span=*/false);
+    watch.restart();
+
+    //
+    // Sandbox acquisition: the borrowed state lands in a local sandbox —
+    // a specialized Zygote when available, else one built on the path.
+    //
+    std::unique_ptr<SandboxInstance> inst;
+    if (options_.useZygote) {
+        {
+            trace::ScopedSpan span(tctx, "sandbox-acquire");
+            span.attr("mechanism", "zygote");
+            Zygote z = zygotes_.acquire(span.context());
+            inst = std::make_unique<SandboxInstance>(
+                machine_, fn, app.name + "-" + tag, *z.proc,
+                BootKind::ForkBoot);
+            inst->setGuest(std::move(z.guest));
+        }
+        result.report.addSandboxStage("zygote-acquire", watch.elapsed(),
+                                      /*emit_span=*/false);
+    } else {
+        {
+            trace::ScopedSpan span(tctx, "sandbox-acquire");
+            span.attr("mechanism", "construct");
+            ctx.charge(costs.parseConfig);
+            inst = sandbox::makeBareInstance(fn, BootKind::ForkBoot,
+                                             tag.c_str());
+            sandbox::constructGVisorSandbox(*inst, ZygotePool::kvmConfig(),
+                                            span.context());
+        }
+        result.report.addSandboxStage("construct-sandbox",
+                                      watch.elapsed(),
+                                      /*emit_span=*/false);
+    }
+    watch.restart();
+
+    //
+    // Specialize, exactly as a local restore would.
+    //
+    ctx.charge(costs.zygoteAppendConfig);
+    const std::size_t binary_mib =
+        mem::bytesForPages(app.binaryPages) >> 20;
+    ctx.charge(costs.zygoteImportPerMiB *
+               static_cast<std::int64_t>(std::max<std::size_t>(
+                   binary_mib, 1)));
+    const mem::PageIndex binary_va = inst->space().mapFile(
+        fn.binary(), 0, app.binaryPages, mem::MapKind::FilePrivate,
+        false, "binary");
+    inst->guest().mountRootfs(1);
+    inst->setRootfs(std::make_unique<vfs::OverlayRootfs>(
+        ctx, fn.fsServer()));
+    result.report.addSandboxStage("specialize", watch.elapsed());
+    watch.restart();
+
+    //
+    // Remote overlay: a Base-EPT over a *local mirror* of the lender's
+    // image, starting empty. Creating it (first borrow, or a lender
+    // image rebuild) streams the metadata section — the arena and
+    // relation table the fixup below walks — in one batched transfer;
+    // everything else arrives later, pulled on demand.
+    //
+    if (fn.remoteBase && fn.remoteGeneration != image->generation()) {
+        fn.remoteBase.reset();
+        fn.remoteMirror.reset();
+        ctx.stats().incr("remote.mirror_invalidated");
+    }
+    mem::PageIndex base_va = 0;
+    {
+        trace::ScopedSpan span(tctx, "remote-overlay");
+        span.attr("image_pages",
+                  static_cast<std::int64_t>(image->totalPages()));
+        if (!fn.remoteBase) {
+            ctx.charge(costs.imageManifestParse);
+            fn.remoteMirror = std::make_unique<mem::BackingFile>(
+                machine_.frames(), app.name + "-remote-mirror",
+                image->totalPages());
+            fn.remoteBase = std::make_shared<mem::BaseMapping>(
+                machine_.frames(), *fn.remoteMirror, 0,
+                image->totalPages(), app.name + "-remote-base");
+            fn.remoteGeneration = image->generation();
+            const std::size_t meta_pages = image->metadataSectionPages();
+            src.fabric->transfer(ctx, src.peer, src.self,
+                                 mem::bytesForPages(meta_pages),
+                                 "image-metadata", span.context());
+            for (std::size_t i = 0; i < meta_pages; ++i)
+                fn.remoteBase->populatePrefetched(
+                    ctx, image->metadataSectionStart() + i);
+            span.attr("metadata_pages",
+                      static_cast<std::int64_t>(meta_pages));
+        }
+        base_va = inst->space().attachBase(fn.remoteBase);
+    }
+    const mem::PageIndex heap_va = base_va + image->memorySectionStart();
+    const std::size_t heap_pages = image->state().memoryPages;
+    result.report.addAppStage("map-remote-image", watch.elapsed(),
+                              /*emit_span=*/false);
+    watch.restart();
+
+    //
+    // Working-set pull: the lender's manifest tells us which pages the
+    // first request will need; stream the stable set in one batched
+    // transfer instead of faulting it page by page over the fabric.
+    //
+    if (src.manifest && src.manifest->usable() &&
+        src.manifest->matches(image->generation())) {
+        trace::ScopedSpan span(tctx, "remote-prefetch");
+        std::vector<mem::PageIndex> stable = src.manifest->stableSet();
+        std::size_t pulled = 0;
+        for (mem::PageIndex page : stable) {
+            if (page >= image->totalPages() ||
+                fn.remoteBase->lookup(page))
+                continue;
+            ++pulled;
+        }
+        span.attr("stable_pages",
+                  static_cast<std::int64_t>(stable.size()));
+        span.attr("pulled_pages", static_cast<std::int64_t>(pulled));
+        if (pulled > 0) {
+            src.fabric->transfer(ctx, src.peer, src.self,
+                                 mem::bytesForPages(pulled),
+                                 "working-set", span.context());
+            for (mem::PageIndex page : stable) {
+                if (page >= image->totalPages() ||
+                    fn.remoteBase->lookup(page))
+                    continue;
+                fn.remoteBase->populatePrefetched(ctx, page);
+            }
+            ctx.stats().incr("remote.prefetch_pages",
+                             static_cast<std::int64_t>(pulled));
+        }
+        result.report.addAppStage("remote-prefetch", watch.elapsed(),
+                                  /*emit_span=*/false);
+        watch.restart();
+    }
+
+    //
+    // Separated state recovery against the mirrored metadata (already
+    // local, so the fixup runs at memory speed like a local restore).
+    //
+    {
+        trace::ScopedSpan span(tctx, "separated-state-fixup");
+        span.attr("separated",
+                  options_.separatedState ? "true" : "false");
+        span.attr("objects", static_cast<std::int64_t>(
+                                 image->separated().objectCount()));
+        const trace::TraceContext fctx = span.context();
+        objgraph::ObjectGraph graph = image->separated().reconstruct(fctx);
+        const auto nobjects =
+            static_cast<std::int64_t>(graph.objectCount());
+        const auto nrelocs = static_cast<std::int64_t>(
+            image->separated().relocCount());
+        ctx.chargeParallel(costs.relationFixupPerPointer, nrelocs);
+        ctx.stats().incr("catalyzer.pointer_fixups", nrelocs);
+        const mem::PageIndex arena_va =
+            base_va + image->metadataSectionStart();
+        for (std::uint64_t rel : image->separated().pointerPageList())
+            inst->space().touch(arena_va + rel, /*write=*/true);
+        ctx.chargeParallel(costs.redoObject, nobjects);
+        ctx.charge(costs.redoObjectSequentialPart * nobjects);
+        inst->guest().setState(std::move(graph));
+        for (int i = 0; i < app.blockingThreads; ++i)
+            inst->guest().threads().addBlockingThread();
+    }
+    result.report.addAppStage("recover-kernel", watch.elapsed(),
+                              /*emit_span=*/false);
+    watch.restart();
+
+    //
+    // I/O: connections never survive a machine boundary — everything
+    // reconnects on this machine (lazily unless ablated).
+    //
+    {
+        trace::ScopedSpan span(tctx, "io-reconnect");
+        span.attr("lazy",
+                  options_.lazyIoReconnection ? "true" : "false");
+        span.attr("connections",
+                  static_cast<std::int64_t>(image->ioTable().size()));
+        inst->guest().io().cloneFrom(image->ioTable());
+        inst->guest().io().dropAll();
+        if (!options_.lazyIoReconnection) {
+            for (auto &conn : inst->guest().io().all())
+                snapshot::reconnectWithRetry(ctx, conn, &fn.fsServer(),
+                                             &injector_, span.context());
+        } else {
+            ctx.charge(costs.ioLazyMarkPerConn *
+                       static_cast<std::int64_t>(
+                           inst->guest().io().count()));
+        }
+        inst->guest().syncFdTable();
+    }
+    result.report.addAppStage("reconnect-io", watch.elapsed(),
+                              /*emit_span=*/false);
+
+    //
+    // Everything the boot did not pull stays remote: install the pager
+    // as the instance's lifetime fault observer, so later Base-EPT
+    // fills inside the mirrored window also cross the fabric (batched,
+    // MITOSIS-style). Working-set recording is skipped for borrowed
+    // instances — the lender owns the manifest.
+    //
+    inst->setLifetimePager(std::make_unique<net::RemotePager>(
+        ctx, *src.fabric, src.self, src.peer, base_va,
+        image->totalPages(), &injector_, options_.remotePullBatchPages));
+
+    inst->setMemoryLayout(binary_va, heap_va, heap_pages,
+                          /*heap_on_base=*/true);
+    inst->setPrepFraction(image->state().warmedPrepFraction);
+    inst->proc().setThreadCount(inst->guest().threads().totalThreads());
+    inst->setBootLatency(result.report.total());
+    ctx.stats().incr("catalyzer.remote_fork_boots");
+    ctx.stats().incr("remote.fork_hits");
+    ctx.stats().observe("boot.latency.Catalyzer-remote-sfork",
+                        result.report.total());
+    sim::debugLog("boot Catalyzer-remote-sfork/%s from node %u: %.3f ms",
+                  app.name.c_str(), src.peer,
+                  result.report.total().toMs());
+    result.instance = std::move(inst);
     return result;
 }
 

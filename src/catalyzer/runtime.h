@@ -22,11 +22,29 @@
 #include "apps/app_profile.h"
 #include "catalyzer/zygote.h"
 #include "faults/fault_injector.h"
+#include "net/fabric.h"
 #include "sandbox/function_artifacts.h"
 #include "sandbox/pipelines.h"
 #include "snapshot/image_store.h"
 
 namespace catalyzer::core {
+
+/**
+ * What a remote-sfork boot borrows from a peer machine (resolved by the
+ * cluster's control plane): the lender's live template, the func-image
+ * it was restored from (metadata only — page *data* crosses the fabric,
+ * never the lender's frame store), its working-set manifest for batched
+ * pulls, and the fabric endpoints.
+ */
+struct RemoteForkSource
+{
+    sandbox::SandboxInstance *templateInstance = nullptr;
+    std::shared_ptr<snapshot::FuncImage> image;
+    std::shared_ptr<prefetch::WorkingSetManifest> manifest;
+    net::Fabric *fabric = nullptr;
+    net::NodeId self = 0;
+    net::NodeId peer = 0;
+};
 
 /** Feature switches; the defaults are full Catalyzer. Turning individual
  *  techniques off reproduces the ablation rows of Fig. 12. */
@@ -63,6 +81,8 @@ struct CatalyzerOptions
     std::size_t prefetchBatchPages = 64;
     std::size_t workingSetTraces = 3;
     double workingSetMinFraction = 0.5;
+    /** Pages per remote pull request on the remote-sfork demand path. */
+    std::size_t remotePullBatchPages = 32;
     /** Fraction of each hello-app's modules preloaded by the language
      *  runtime template. */
     double languageTemplateCoreFraction = 0.8;
@@ -103,6 +123,20 @@ class CatalyzerRuntime
     /** Fork boot: sfork from the function's template sandbox. */
     sandbox::BootResult bootFork(sandbox::FunctionArtifacts &fn,
                                  trace::TraceContext trace = {});
+
+    /**
+     * Remote-sfork (MITOSIS-style): fork from a *peer machine's*
+     * template over the fabric. One round trip fetches the fork
+     * descriptor, the image's metadata section and the working-set
+     * stable set stream into a local mirror in batched pulls, and the
+     * remaining pages arrive on demand through a network-backed fault
+     * observer for the instance's lifetime. Throws faults::FaultError
+     * when the peer is (injected) dead at handshake time, so the
+     * platform degrades to the local tiers.
+     */
+    sandbox::BootResult bootRemoteFork(sandbox::FunctionArtifacts &fn,
+                                       const RemoteForkSource &src,
+                                       trace::TraceContext trace = {});
 
     /**
      * Cold boot via the per-language runtime template (Table 2): sfork

@@ -25,6 +25,12 @@ faultSiteName(FaultSite site)
         return "template_death";
     case FaultSite::Sfork:
         return "sfork";
+    case FaultSite::NetLink:
+        return "net_link";
+    case FaultSite::ReplicaMiss:
+        return "replica_miss";
+    case FaultSite::RemotePeerDeath:
+        return "remote_peer_death";
     }
     sim::panic("faultSiteName: bad site %d", static_cast<int>(site));
 }

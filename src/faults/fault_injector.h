@@ -52,9 +52,12 @@ enum class FaultSite
     ZygoteBuild,        ///< building a Zygote sandbox fails
     TemplateDeath,      ///< the function's template sandbox died
     Sfork,              ///< the sfork syscall fails
+    NetLink,            ///< a fabric link drops one transfer chunk
+    ReplicaMiss,        ///< an advertised image replica is gone
+    RemotePeerDeath,    ///< the remote-fork lender machine died
 };
 
-inline constexpr std::size_t kFaultSiteCount = 7;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 /** Stable lower_snake_case name, used in counters and messages. */
 const char *faultSiteName(FaultSite site);

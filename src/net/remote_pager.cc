@@ -1,0 +1,98 @@
+#include "net/remote_pager.h"
+
+#include <algorithm>
+
+namespace catalyzer::net {
+
+RemotePager::RemotePager(sim::SimContext &ctx, Fabric &fabric,
+                         NodeId self, NodeId peer,
+                         mem::PageIndex window_start,
+                         std::size_t window_pages,
+                         faults::FaultInjector *injector,
+                         std::size_t batch_pages)
+    : ctx_(ctx), fabric_(fabric), self_(self), source_(peer),
+      window_start_(window_start), window_pages_(window_pages),
+      injector_(injector),
+      batch_pages_(std::max<std::size_t>(batch_pages, 1)),
+      lease_(fabric, peer)
+{
+}
+
+void
+RemotePager::onFault(mem::PageIndex page, bool write,
+                     mem::FaultResult result)
+{
+    (void)write;
+    if (result != mem::FaultResult::BaseFill || !inWindow(page))
+        return;
+    pull(1);
+}
+
+void
+RemotePager::onFaultRange(mem::PageIndex start, std::size_t npages,
+                          bool write, mem::FaultResult result)
+{
+    (void)write;
+    if (result != mem::FaultResult::BaseFill)
+        return;
+    const mem::PageIndex lo = std::max(start, window_start_);
+    const mem::PageIndex hi = std::min(
+        start + npages, window_start_ + window_pages_);
+    if (hi > lo)
+        pull(hi - lo);
+}
+
+void
+RemotePager::openBatch()
+{
+    const auto &costs = ctx_.costs();
+    if (injector_ != nullptr) {
+        if (source_ != kOriginStorage &&
+            injector_->shouldFail(faults::FaultSite::RemotePeerDeath,
+                                  ctx_.stats())) {
+            // The lender died mid-pull: this request times out, and
+            // every later pull streams from origin storage instead of
+            // failing the running instance.
+            ctx_.charge(injector_->retry().attemptTimeout);
+            ctx_.stats().incr("remote.peer_lost");
+            source_ = kOriginStorage;
+        }
+        if (injector_->shouldFail(faults::FaultSite::NetLink,
+                                  ctx_.stats())) {
+            // One dropped request; the retry goes through.
+            ctx_.charge(injector_->retry().attemptTimeout);
+            ctx_.stats().incr("net.link_retries");
+        }
+    }
+    ctx_.charge(fabric_.rtt(self_, source_, costs) +
+                costs.netPagePullBatchSetup);
+    ctx_.stats().incr("remote.pull_batches");
+    ++batches_;
+    batch_left_ = batch_pages_;
+}
+
+void
+RemotePager::pull(std::size_t npages)
+{
+    const auto &costs = ctx_.costs();
+    std::size_t left = npages;
+    while (left > 0) {
+        if (batch_left_ == 0)
+            openBatch();
+        const std::size_t take = std::min(left, batch_left_);
+        // The pages ride the streaming bandwidth of the current source,
+        // contended by the other pull channels open on it (this pager's
+        // own lease is discounted).
+        ctx_.charge(fabric_.streamCost(
+                        source_, mem::bytesForPages(take), costs) *
+                    fabric_.contentionFactor(self_, source_,
+                                             /*discount_streams=*/1));
+        batch_left_ -= take;
+        left -= take;
+    }
+    pages_pulled_ += npages;
+    ctx_.stats().incr("remote.page_pulls",
+                      static_cast<std::int64_t>(npages));
+}
+
+} // namespace catalyzer::net

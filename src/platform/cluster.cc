@@ -1,6 +1,7 @@
 #include "platform/cluster.h"
 
 #include <functional>
+#include <ostream>
 
 #include "sim/logging.h"
 
@@ -13,14 +14,16 @@ placementPolicyName(PlacementPolicy policy)
       case PlacementPolicy::RoundRobin: return "round-robin";
       case PlacementPolicy::LeastLoaded: return "least-loaded";
       case PlacementPolicy::FunctionAffinity: return "function-affinity";
+      case PlacementPolicy::NetworkAware: return "network-aware";
     }
     return "?";
 }
 
 Cluster::Cluster(std::size_t machines, PlacementPolicy policy,
                  PlatformConfig config, core::CatalyzerOptions options,
-                 sim::CostModel costs, std::uint64_t seed)
-    : policy_(policy)
+                 sim::CostModel costs, std::uint64_t seed,
+                 net::FabricConfig fabric_config)
+    : policy_(policy), fabric_(fabric_config), registry_(&fabric_)
 {
     if (machines == 0)
         sim::fatal("Cluster: need at least one machine");
@@ -31,6 +34,39 @@ Cluster::Cluster(std::size_t machines, PlacementPolicy policy,
             std::make_unique<sandbox::Machine>(seed + i, costs);
         node.platform = std::make_unique<ServerlessPlatform>(
             *node.machine, config, options);
+        // Image fetches ride the shared fabric (in flat-compat mode by
+        // default, which charges exactly the legacy formula); replicas
+        // are tracked only when P2P fetch may use them.
+        node.platform->catalyzer().images().attachFabric(
+            &fabric_, static_cast<net::NodeId>(i),
+            fabric_config.p2pImages ? &registry_ : nullptr);
+        if (fabric_config.remoteFork) {
+            remote::RemoteBootEnv env;
+            env.fabric = &fabric_;
+            env.registry = &registry_;
+            env.self = static_cast<net::NodeId>(i);
+            env.forkSource = [this](const std::string &name,
+                                    net::NodeId peer)
+                -> std::optional<core::RemoteForkSource> {
+                if (peer >= nodes_.size())
+                    return std::nullopt;
+                ServerlessPlatform &lender = *nodes_[peer].platform;
+                sandbox::FunctionArtifacts *fn =
+                    lender.registry().find(name);
+                sandbox::SandboxInstance *tmpl =
+                    lender.catalyzer().templateFor(name);
+                if (!fn || !tmpl || !fn->separatedImage)
+                    return std::nullopt;
+                core::RemoteForkSource src;
+                src.templateInstance = tmpl;
+                src.image = fn->separatedImage;
+                src.manifest = fn->workingSet;
+                src.fabric = &fabric_;
+                src.peer = peer;
+                return src;
+            };
+            node.platform->setRemoteEnv(std::move(env));
+        }
         nodes_.push_back(std::move(node));
     }
 }
@@ -69,6 +105,67 @@ Cluster::pick(const std::string &function_name)
       }
       case PlacementPolicy::FunctionAffinity:
         return std::hash<std::string>{}(function_name) % nodes_.size();
+      case PlacementPolicy::NetworkAware: {
+        // Least-loaded overall is the baseline (lowest index on ties).
+        std::size_t best = 0;
+        std::size_t best_load = nodes_[0].platform->totalInstances();
+        for (std::size_t i = 1; i < nodes_.size(); ++i) {
+            const std::size_t load =
+                nodes_[i].platform->totalInstances();
+            if (load < best_load) {
+                best = i;
+                best_load = load;
+            }
+        }
+        const std::vector<net::NodeId> holders =
+            registry_.templateHolders(function_name);
+        if (holders.empty())
+            return best;
+        // A template holder boots with a local sfork; stick with the
+        // least-loaded one until it is clearly busier than the fleet.
+        constexpr std::size_t kLoadSlack = 4;
+        bool have_holder = false;
+        std::size_t hbest = 0, hload = 0;
+        for (net::NodeId id : holders) {
+            if (id >= nodes_.size())
+                continue;
+            const std::size_t load =
+                nodes_[id].platform->totalInstances();
+            if (!have_holder || load < hload) {
+                have_holder = true;
+                hbest = id;
+                hload = load;
+            }
+        }
+        if (have_holder && hload <= best_load + kLoadSlack)
+            return hbest;
+        // Holders are saturated: a same-rack neighbor remote-sforks at
+        // ToR latency, still far cheaper than a cold boot elsewhere.
+        bool have_rack = false;
+        std::size_t rbest = 0, rload = 0;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            bool near_holder = false;
+            for (net::NodeId id : holders) {
+                if (id < nodes_.size() && id != i &&
+                    fabric_.sameRack(static_cast<net::NodeId>(i), id)) {
+                    near_holder = true;
+                    break;
+                }
+            }
+            if (!near_holder)
+                continue;
+            const std::size_t load =
+                nodes_[i].platform->totalInstances();
+            if (!have_rack || load < rload) {
+                have_rack = true;
+                rbest = i;
+                rload = load;
+            }
+        }
+        if (have_rack && rload <= best_load + kLoadSlack)
+            return rbest;
+        return best;
+      }
     }
     sim::panic("unreachable placement policy");
 }
@@ -123,6 +220,27 @@ Cluster::placementOf(const std::string &function_name) const
     for (const auto &node : nodes_)
         out.push_back(node.platform->runningCount(function_name));
     return out;
+}
+
+void
+Cluster::statsSnapshot(std::ostream &os) const
+{
+    // Fold every machine's registry into one: counters sum, histogram
+    // samples concatenate (machine order, then sample order, so the
+    // output is deterministic).
+    sim::StatRegistry fleet;
+    for (const auto &node : nodes_) {
+        const sim::StatRegistry &stats = node.machine->ctx().stats();
+        for (const auto &[name, value] : stats.all())
+            fleet.incr(name, value);
+        for (const auto &[name, series] : stats.histograms()) {
+            for (double ms : series.raw())
+                fleet.observeMs(name, ms);
+        }
+    }
+    os << "{\"machines\": " << nodes_.size() << ", \"fleet\": ";
+    fleet.writeJson(os);
+    os << "}\n";
 }
 
 } // namespace catalyzer::platform

@@ -13,20 +13,30 @@
 #ifndef CATALYZER_PLATFORM_CLUSTER_H
 #define CATALYZER_PLATFORM_CLUSTER_H
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "net/fabric.h"
 #include "platform/platform.h"
+#include "remote/template_registry.h"
 
 namespace catalyzer::platform {
 
 /** How the cluster scheduler picks a machine for a request. */
 enum class PlacementPolicy
 {
-    RoundRobin,      ///< spread blindly
-    LeastLoaded,     ///< fewest live instances
-    FunctionAffinity ///< hash the function to a home machine
+    RoundRobin,       ///< spread blindly
+    LeastLoaded,      ///< fewest live instances
+    FunctionAffinity, ///< hash the function to a home machine
+    /**
+     * Boot-cost-aware: prefer a machine holding the function's template
+     * (local sfork), spilling to a same-rack neighbor (remote-sfork at
+     * ToR latency) once holders are clearly more loaded than the fleet,
+     * and to the least-loaded machine overall as the last resort.
+     */
+    NetworkAware,
 };
 
 const char *placementPolicyName(PlacementPolicy policy);
@@ -47,18 +57,23 @@ class Cluster
 {
   public:
     /**
-     * @param machines   Fleet size.
-     * @param policy     Placement policy.
-     * @param config     Platform configuration used on every machine.
-     * @param options    Catalyzer options used on every machine.
-     * @param costs      Host cost model (same hardware fleet).
-     * @param seed       Base seed; machine i uses seed + i.
+     * @param machines      Fleet size.
+     * @param policy        Placement policy.
+     * @param config        Platform configuration used on every machine.
+     * @param options       Catalyzer options used on every machine.
+     * @param costs         Host cost model (same hardware fleet).
+     * @param seed          Base seed; machine i uses seed + i.
+     * @param fabric_config Network fabric between the machines. The
+     *        default (flat-compat) keeps every latency bit-identical to
+     *        the pre-fabric cluster; enabling modelTransfers /
+     *        p2pImages / remoteFork turns on the distributed layer.
      */
     Cluster(std::size_t machines, PlacementPolicy policy,
             PlatformConfig config = {},
             core::CatalyzerOptions options = {},
             sim::CostModel costs = sim::CostModel{},
-            std::uint64_t seed = 42);
+            std::uint64_t seed = 42,
+            net::FabricConfig fabric_config = {});
 
     /** Register a function on every machine. */
     void deploy(const apps::AppProfile &app);
@@ -85,6 +100,19 @@ class Cluster
     std::vector<std::size_t>
     placementOf(const std::string &function_name) const;
 
+    /** The fleet's network. */
+    net::Fabric &fabric() { return fabric_; }
+
+    /** The fleet's template / replica directory. */
+    remote::TemplateRegistry &registry() { return registry_; }
+
+    /**
+     * Fleet-wide metrics snapshot as JSON: every machine's counters
+     * summed and histogram samples concatenated, plus the machine
+     * count: {"machines": N, "fleet": {counters..., histograms...}}.
+     */
+    void statsSnapshot(std::ostream &os) const;
+
   private:
     std::size_t pick(const std::string &function_name);
 
@@ -95,6 +123,9 @@ class Cluster
     };
 
     PlacementPolicy policy_;
+    /** Declared before nodes_: platforms hold pointers into both. */
+    net::Fabric fabric_;
+    remote::TemplateRegistry registry_;
     std::vector<Node> nodes_;
     std::size_t next_rr_ = 0;
 };

@@ -15,18 +15,44 @@ using sandbox::SandboxInstance;
 namespace {
 
 /** Catalyzer fallback-chain tiers, fastest first. */
-enum BootTier { kTierSfork = 0, kTierWarm, kTierCold, kTierFresh };
+enum BootTier
+{
+    kTierSfork = 0,
+    kTierRemoteFork, ///< sfork from a peer machine's template
+    kTierWarm,
+    kTierCold,
+    kTierFresh,
+};
 
 const char *
 bootTierName(int tier)
 {
     switch (tier) {
       case kTierSfork: return "sfork";
+      case kTierRemoteFork: return "remote-sfork";
       case kTierWarm: return "warm";
       case kTierCold: return "cold";
       case kTierFresh: return "fresh";
     }
     sim::panic("bootTierName: bad tier %d", tier);
+}
+
+/**
+ * Value observed into the boot.tier_served histogram. The local tiers
+ * keep their pre-remote-fork encoding (sfork 0, warm 1, cold 2,
+ * fresh 3) so single-machine runs stay bit-identical; the inserted
+ * remote-sfork tier takes the next free slot.
+ */
+double
+tierServedValue(int tier)
+{
+    switch (tier) {
+      case kTierSfork: return 0.0;
+      case kTierRemoteFork: return 4.0;
+      case kTierWarm: return 1.0;
+      case kTierCold: return 2.0;
+    }
+    return 3.0;
 }
 
 } // namespace
@@ -90,6 +116,31 @@ ServerlessPlatform::prepare(const apps::AppProfile &app)
       default:
         break; // fresh-boot systems need no preparation
     }
+    syncRemoteRegistry(app.name);
+}
+
+bool
+ServerlessPlatform::remoteForkAvailable(FunctionArtifacts &fn) const
+{
+    return remote_env_ && remote_env_->registry &&
+           remote_env_->registry
+               ->nearestTemplateHolder(fn.app().name, remote_env_->self)
+               .has_value();
+}
+
+void
+ServerlessPlatform::syncRemoteRegistry(const std::string &name)
+{
+    if (!remote_env_ || !remote_env_->registry)
+        return;
+    remote_env_->registry->setTemplate(
+        remote_env_->self, name, runtime_.templateFor(name) != nullptr);
+}
+
+void
+ServerlessPlatform::setRemoteEnv(remote::RemoteBootEnv env)
+{
+    remote_env_ = std::move(env);
 }
 
 BootResult
@@ -98,13 +149,37 @@ ServerlessPlatform::bootChain(FunctionArtifacts &fn, int tier,
                               trace::TraceContext trace)
 {
     auto &stats = machine_.ctx().stats();
-    for (;; ++tier) {
+    for (;;) {
+        // The remote tier only exists when a peer can actually lend the
+        // template; otherwise the chain (and its fallback counter
+        // names) is exactly the local sfork → warm → cold → fresh.
+        while (tier == kTierRemoteFork && !remoteForkAvailable(fn))
+            ++tier;
         try {
             BootResult result;
             switch (tier) {
               case kTierSfork:
                 result = runtime_.bootFork(fn, trace);
                 break;
+              case kTierRemoteFork: {
+                const remote::RemoteBootEnv &env = *remote_env_;
+                const std::string &name = fn.app().name;
+                auto peer = env.registry->nearestTemplateHolder(
+                    name, env.self);
+                if (!peer)
+                    throw faults::FaultError(
+                        faults::FaultSite::RemotePeerDeath,
+                        name + " has no remote template holder");
+                auto src = env.forkSource(name, *peer);
+                if (!src)
+                    throw faults::FaultError(
+                        faults::FaultSite::RemotePeerDeath,
+                        name + " fork source on node " +
+                            std::to_string(*peer) + " is gone");
+                src->self = env.self;
+                result = runtime_.bootRemoteFork(fn, *src, trace);
+                break;
+              }
               case kTierWarm:
                 result = runtime_.bootWarm(fn, trace);
                 break;
@@ -120,19 +195,22 @@ ServerlessPlatform::bootChain(FunctionArtifacts &fn, int tier,
             }
             record.tierServed = bootTierName(std::min(
                 tier, static_cast<int>(kTierFresh)));
-            stats.observeMs("boot.tier_served",
-                            static_cast<double>(tier));
+            stats.observeMs("boot.tier_served", tierServedValue(tier));
             return result;
         } catch (const faults::FaultError &err) {
             // Degrade one tier instead of failing the request.
+            int next = tier + 1;
+            while (next == kTierRemoteFork && !remoteForkAvailable(fn))
+                ++next;
             const std::string from = bootTierName(tier);
-            const std::string to = bootTierName(tier + 1);
+            const std::string to = bootTierName(next);
             stats.incr("boot.fallback." + from + "_" + to);
             ++record.tierFallbacks;
             sim::debugLog("boot tier %s failed for %s (%s): "
                           "falling back to %s",
                           from.c_str(), fn.app().name.c_str(),
                           err.what(), to.c_str());
+            tier = next;
         }
     }
 }
@@ -167,6 +245,8 @@ ServerlessPlatform::bootNew(FunctionArtifacts &fn,
       case BootStrategy::CatalyzerAuto:
         if (runtime_.templateFor(fn.app().name))
             return bootChain(fn, kTierSfork, record, trace);
+        if (remoteForkAvailable(fn))
+            return bootChain(fn, kTierRemoteFork, record, trace);
         if (fn.sharedBase)
             return bootChain(fn, kTierWarm, record, trace);
         return bootChain(fn, kTierCold, record, trace);
@@ -215,6 +295,10 @@ ServerlessPlatform::invoke(const std::string &function_name,
         record.bootKind = inst->bootKind();
         record.bootLatency = inst->bootLatency();
         ctx.stats().incr("platform.boots");
+        // The boot may have built (or dropped) the local template;
+        // publish its state so peers can remote-sfork from it. A no-op
+        // outside a cluster with remote fork enabled.
+        syncRemoteRegistry(function_name);
     }
     invoke_span.attr("tier", record.tierServed);
 

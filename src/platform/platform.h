@@ -10,10 +10,12 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "catalyzer/runtime.h"
+#include "remote/template_registry.h"
 #include "sandbox/pipelines.h"
 
 namespace catalyzer::platform {
@@ -133,20 +135,41 @@ class ServerlessPlatform
     sandbox::Machine &machine() { return machine_; }
     const PlatformConfig &config() const { return config_; }
 
+    /**
+     * Join a cluster's remote-fork control plane: the fabric, the
+     * cluster-wide template registry and this machine's node id. With
+     * an env set, CatalyzerAuto inserts the remote-sfork tier between
+     * sfork and warm whenever a peer holds the function's template, and
+     * every boot publishes this machine's template state back into the
+     * registry. Without one the chain is exactly the local four tiers.
+     */
+    void setRemoteEnv(remote::RemoteBootEnv env);
+
+    const remote::RemoteBootEnv *remoteEnv() const
+    {
+        return remote_env_ ? &*remote_env_ : nullptr;
+    }
+
   private:
     sandbox::BootResult bootNew(sandbox::FunctionArtifacts &fn,
                                 InvocationRecord &record,
                                 trace::TraceContext trace = {});
     /**
      * Boot through the Catalyzer fallback chain starting at @p tier
-     * (0 = sfork, 1 = warm, 2 = cold, 3 = fresh): a tier that throws
+     * (sfork → remote-sfork → warm → cold → fresh): a tier that throws
      * faults::FaultError degrades one tier instead of failing the
      * request, counting boot.fallback.<from>_<to> and observing the
-     * serving tier into the boot.tier_served histogram.
+     * serving tier into the boot.tier_served histogram. The
+     * remote-sfork tier is skipped (and absent from fallback counter
+     * names) unless a remote env with a template-holding peer exists.
      */
     sandbox::BootResult bootChain(sandbox::FunctionArtifacts &fn,
                                   int tier, InvocationRecord &record,
                                   trace::TraceContext trace);
+    /** A peer holds this function's template and can lend it. */
+    bool remoteForkAvailable(sandbox::FunctionArtifacts &fn) const;
+    /** Publish this machine's template state for @p name cluster-wide. */
+    void syncRemoteRegistry(const std::string &name);
 
     /** A parked keep-alive instance. */
     struct IdleEntry
@@ -163,6 +186,7 @@ class ServerlessPlatform
     std::map<std::string,
              std::vector<std::unique_ptr<sandbox::SandboxInstance>>>
         running_;
+    std::optional<remote::RemoteBootEnv> remote_env_;
 };
 
 } // namespace catalyzer::platform

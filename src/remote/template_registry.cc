@@ -1,0 +1,102 @@
+#include "remote/template_registry.h"
+
+namespace catalyzer::remote {
+
+void
+TemplateRegistry::setTemplate(net::NodeId node,
+                              const std::string &function_name,
+                              bool present)
+{
+    if (present)
+        templates_[function_name].insert(node);
+    else {
+        auto it = templates_.find(function_name);
+        if (it != templates_.end()) {
+            it->second.erase(node);
+            if (it->second.empty())
+                templates_.erase(it);
+        }
+    }
+}
+
+bool
+TemplateRegistry::hasTemplate(net::NodeId node,
+                              const std::string &function_name) const
+{
+    auto it = templates_.find(function_name);
+    return it != templates_.end() && it->second.contains(node);
+}
+
+std::vector<net::NodeId>
+TemplateRegistry::templateHolders(
+    const std::string &function_name) const
+{
+    auto it = templates_.find(function_name);
+    if (it == templates_.end())
+        return {};
+    return {it->second.begin(), it->second.end()};
+}
+
+std::optional<net::NodeId>
+TemplateRegistry::nearest(const std::set<net::NodeId> &nodes,
+                          net::NodeId from) const
+{
+    // std::set iterates ascending, so the first hit in each preference
+    // class is the lowest node id — the deterministic tie-break.
+    std::optional<net::NodeId> fallback;
+    for (net::NodeId node : nodes) {
+        if (node == from)
+            continue;
+        if (fabric_ != nullptr && fabric_->sameRack(node, from))
+            return node;
+        if (!fallback)
+            fallback = node;
+    }
+    return fallback;
+}
+
+std::optional<net::NodeId>
+TemplateRegistry::nearestTemplateHolder(
+    const std::string &function_name, net::NodeId from) const
+{
+    auto it = templates_.find(function_name);
+    if (it == templates_.end())
+        return std::nullopt;
+    return nearest(it->second, from);
+}
+
+std::optional<net::NodeId>
+TemplateRegistry::nearestReplica(const std::string &key,
+                                 net::NodeId from) const
+{
+    auto it = replicas_.find(key);
+    if (it == replicas_.end())
+        return std::nullopt;
+    return nearest(it->second, from);
+}
+
+void
+TemplateRegistry::addReplica(const std::string &key, net::NodeId node)
+{
+    replicas_[key].insert(node);
+}
+
+void
+TemplateRegistry::dropReplica(const std::string &key, net::NodeId node)
+{
+    auto it = replicas_.find(key);
+    if (it != replicas_.end()) {
+        it->second.erase(node);
+        if (it->second.empty())
+            replicas_.erase(it);
+    }
+}
+
+std::size_t
+TemplateRegistry::replicaCount(const std::string &key) const
+{
+    auto it = replicas_.find(key);
+    return it == replicas_.end() ? 0 : it->second.size();
+}
+
+} // namespace catalyzer::remote

@@ -49,6 +49,17 @@ class FunctionArtifacts
     std::shared_ptr<mem::BaseMapping> sharedBase;
 
     /**
+     * Remote-sfork state (MITOSIS-style, src/remote/): a local mirror
+     * of the *lender machine's* func-image, filled lazily by on-demand
+     * network page pulls, and the Base-EPT over it shared by every
+     * borrowed instance on this machine. Bound to the lender image's
+     * generation; a generation change invalidates both.
+     */
+    std::unique_ptr<mem::BackingFile> remoteMirror;
+    std::shared_ptr<mem::BaseMapping> remoteBase;
+    std::uint64_t remoteGeneration = 0;
+
+    /**
      * Catalyzer's I/O cache: connection descriptors observed to be used
      * right after boot (recorded by the first cold boot, Sec. 3.3).
      */

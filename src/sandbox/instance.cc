@@ -33,7 +33,7 @@ SandboxInstance::~SandboxInstance()
 {
     if (!released_ && proc_) {
         // Detach the fault observer before the space goes away.
-        if (ws_recorder_)
+        if (ws_recorder_ || lifetime_pager_)
             proc_->space().setFaultObserver(nullptr);
         // Drop the rootfs view and guest first, then reap the process
         // (which releases the address space's frames).
@@ -155,8 +155,22 @@ SandboxInstance::finishWorkingSetWindow()
     if (!ws_recorder_)
         return;
     ws_recorder_->finish(machine_.ctx().stats());
+    // Hand the observer slot back to the lifetime pager, if one is
+    // installed (remote-sfork instances keep pulling pages after the
+    // first response).
     if (proc_)
-        proc_->space().setFaultObserver(nullptr);
+        proc_->space().setFaultObserver(lifetime_pager_.get());
+}
+
+void
+SandboxInstance::setLifetimePager(
+    std::unique_ptr<mem::FaultObserver> pager)
+{
+    if (ws_recorder_)
+        finishWorkingSetWindow();
+    lifetime_pager_ = std::move(pager);
+    if (proc_)
+        proc_->space().setFaultObserver(lifetime_pager_.get());
 }
 
 void

@@ -131,6 +131,20 @@ class SandboxInstance
         return ws_recorder_.get();
     }
 
+    /**
+     * Install a fault observer for this instance's whole lifetime (the
+     * remote-sfork page puller). Unlike the working-set recorder it
+     * never detaches at the first response; it is cleared only when the
+     * instance dies. Mutually exclusive with the recorder (the address
+     * space supports one observer).
+     */
+    void setLifetimePager(std::unique_ptr<mem::FaultObserver> pager);
+
+    const mem::FaultObserver *lifetimePager() const
+    {
+        return lifetime_pager_.get();
+    }
+
   private:
     Machine &machine_;
     FunctionArtifacts &fn_;
@@ -147,6 +161,7 @@ class SandboxInstance
     std::size_t invocations_ = 0;
     double prep_fraction_ = 0.0;
     std::unique_ptr<prefetch::FaultRecorder> ws_recorder_;
+    std::unique_ptr<mem::FaultObserver> lifetime_pager_;
     bool released_ = false;
 };
 

@@ -122,6 +122,30 @@ struct CostModel
     SimTime networkFetchPerMiB = 850_us;
 
     //
+    // Datacenter fabric (net/). The modeled fabric splits a transfer
+    // into one round trip (handshake/ACK) plus a streaming part riding
+    // the NIC's bandwidth; the flat-compat mode keeps charging
+    // networkFetchPerMiB so existing remote-fetch paths stay
+    // bit-identical. netStreamPerMiB matches networkFetchPerMiB on
+    // purpose: the calibrated per-MiB cost *is* the streaming rate, the
+    // modeled mode merely adds latency structure around it.
+    //
+    /** Round trip between two machines in the same rack (ToR switch). */
+    SimTime netRttIntraRack = 20_us;
+    /** Round trip across racks (spine hop). */
+    SimTime netRttCrossRack = 90_us;
+    /** Peer-to-peer streaming of one MiB at NIC line rate. */
+    SimTime netStreamPerMiB = 850_us;
+    /**
+     * Streaming one MiB from the origin image repository: a shared blob
+     * store serves many clients, so its per-client bandwidth is about
+     * half a dedicated peer NIC.
+     */
+    SimTime netOriginStreamPerMiB = 1700_us;
+    /** Issue one batched remote page-pull request (remote sfork). */
+    SimTime netPagePullBatchSetup = 15_us;
+
+    //
     // Working-set prefetch (prefetch/), REAP-style batched restore
     // reads. A batch is one readahead submission covering up to
     // prefetchBatchPages image pages, so the SSD serves a large

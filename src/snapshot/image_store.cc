@@ -1,5 +1,7 @@
 #include "snapshot/image_store.h"
 
+#include <algorithm>
+
 #include "sim/logging.h"
 
 namespace catalyzer::snapshot {
@@ -22,6 +24,73 @@ ImageStore::publish(std::shared_ptr<FuncImage> image)
     ctx_.stats().incr("snapshot.images_published");
 }
 
+net::Fabric &
+ImageStore::fabric()
+{
+    if (fabric_ != nullptr)
+        return *fabric_;
+    // Standalone machines (no Cluster) route through an owned fabric in
+    // flat-compat mode: the transfer charges the legacy per-MiB formula
+    // bit for bit.
+    if (!own_fabric_)
+        own_fabric_ = std::make_unique<net::Fabric>();
+    return *own_fabric_;
+}
+
+void
+ImageStore::transferImage(const std::string &k, const FuncImage &image)
+{
+    net::Fabric &net = fabric();
+    const std::size_t bytes = mem::bytesForPages(image.totalPages());
+    if (!net.config().modelTransfers) {
+        // Flat-compat: one whole-image transfer, identical to the old
+        // chargeCounted(networkFetchPerMiB * mib) charge.
+        net.transfer(ctx_, net::kOriginStorage, self_, bytes,
+                     "func-image");
+        return;
+    }
+
+    // Modeled fetch: pick the nearest replica (P2P), fall back to the
+    // origin repository, and stream the image in chunks so a link
+    // failure costs one chunk retry, not the whole image.
+    net::NodeId source = net::kOriginStorage;
+    if (net.config().p2pImages && replicas_ != nullptr) {
+        if (auto peer = replicas_->nearestReplica(k, self_)) {
+            if (injector_ != nullptr &&
+                injector_->shouldFail(faults::FaultSite::ReplicaMiss,
+                                      ctx_.stats())) {
+                // The advertised copy is gone (evicted, machine down):
+                // unadvertise it and stream from origin instead.
+                replicas_->dropReplica(k, *peer);
+                ctx_.stats().incr("snapshot.replica_misses");
+            } else {
+                source = *peer;
+                ctx_.stats().incr("snapshot.p2p_fetches");
+            }
+        }
+    }
+
+    const std::size_t chunk_bytes = mem::bytesForPages(
+        std::max<std::size_t>(net.config().chunkPages, 1));
+    for (std::size_t off = 0; off < bytes; off += chunk_bytes) {
+        const std::size_t n = std::min(chunk_bytes, bytes - off);
+        if (injector_ != nullptr &&
+            injector_->shouldFail(faults::FaultSite::NetLink,
+                                  ctx_.stats())) {
+            // The link to the source dropped this chunk: burn the
+            // attempt timeout, reroute the rest of the stream to
+            // origin, and retry the chunk (which always succeeds, so
+            // the fetch itself keeps its all-or-nothing contract).
+            ctx_.charge(injector_->retry().attemptTimeout);
+            ctx_.stats().incr("net.link_reroutes");
+            source = net::kOriginStorage;
+        }
+        net.transfer(ctx_, source, self_, n, "image-chunk");
+    }
+    if (replicas_ != nullptr)
+        replicas_->addReplica(k, self_);
+}
+
 std::shared_ptr<FuncImage>
 ImageStore::fetch(const std::string &function_name, ImageFormat format)
 {
@@ -42,15 +111,10 @@ ImageStore::fetch(const std::string &function_name, ImageFormat format)
         ctx_.charge(injector_->retry().attemptTimeout);
         return nullptr;
     }
-    // Remote fetch: transfer the whole image, then validate the
-    // manifest.
-    const auto &costs = ctx_.costs();
-    const auto mib = static_cast<std::int64_t>(
-        mem::bytesForPages(rit->second->totalPages()) >> 20);
-    ctx_.chargeCounted("snapshot.image_remote_fetches",
-                       costs.networkFetchPerMiB *
-                           std::max<std::int64_t>(mib, 1));
-    ctx_.charge(costs.imageManifestParse);
+    // Remote fetch over the fabric, then validate the manifest.
+    transferImage(k, *rit->second);
+    ctx_.stats().incr("snapshot.image_remote_fetches");
+    ctx_.charge(ctx_.costs().imageManifestParse);
     local_[k] = rit->second;
     return rit->second;
 }

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "faults/fault_injector.h"
+#include "net/fabric.h"
 #include "prefetch/working_set_manifest.h"
 #include "sim/context.h"
 #include "snapshot/func_image.h"
@@ -96,11 +97,38 @@ class ImageStore
         injector_ = injector;
     }
 
+    /**
+     * Route remote fetches through @p fabric as node @p self. With a
+     * modeled fabric and a @p replicas directory, fetches stream in
+     * chunks from the nearest replica (origin as fallback) and register
+     * this machine as a new replica; a flat-compat fabric (and the
+     * owned default used when none is attached) charges the legacy flat
+     * per-MiB cost bit-identically.
+     */
+    void attachFabric(net::Fabric *fabric, net::NodeId self,
+                      net::ReplicaDirectory *replicas = nullptr)
+    {
+        fabric_ = fabric;
+        self_ = self;
+        replicas_ = replicas;
+    }
+
   private:
     static std::string key(const std::string &name, ImageFormat format);
 
+    /** The attached fabric, or the owned flat-compat default. */
+    net::Fabric &fabric();
+
+    /** Transfer one image's bytes, chunked when the fabric is modeled. */
+    void transferImage(const std::string &k, const FuncImage &image);
+
     sim::SimContext &ctx_;
     faults::FaultInjector *injector_ = nullptr;
+    net::Fabric *fabric_ = nullptr;
+    net::ReplicaDirectory *replicas_ = nullptr;
+    net::NodeId self_ = 0;
+    /** Flat-compat fabric used when no cluster fabric is attached. */
+    std::unique_ptr<net::Fabric> own_fabric_;
     std::map<std::string, std::shared_ptr<FuncImage>> remote_;
     std::map<std::string, std::shared_ptr<FuncImage>> local_;
     /** Serialized working-set manifests, keyed by function name. */

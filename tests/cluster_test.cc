@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "platform/cluster.h"
 
 namespace catalyzer::platform {
@@ -87,6 +89,91 @@ TEST(ClusterTest, RemoteImagesFetchedPerMachine)
                       "snapshot.image_remote_fetches"), 1)
             << "machine " << i;
     }
+}
+
+TEST(ClusterTest, LeastLoadedBreaksTiesDeterministically)
+{
+    // Every machine starts equally empty: the tie must go to the first
+    // machine, every time, so runs are bit-reproducible.
+    for (int run = 0; run < 3; ++run) {
+        Cluster cluster(4, PlacementPolicy::LeastLoaded,
+                        PlatformConfig{BootStrategy::CatalyzerWarm});
+        cluster.deploy(apps::appByName("c-hello"));
+        EXPECT_EQ(cluster.invoke("c-hello").machineIndex, 0u);
+        // One instance on 0: the next tie among {1, 2, 3} picks 1.
+        EXPECT_EQ(cluster.invoke("c-hello").machineIndex, 1u);
+    }
+}
+
+TEST(ClusterTest, AffinityHashIsStableAcrossClusters)
+{
+    // The affinity hash must map a function to the same home machine in
+    // every identically-sized fleet (it is a pure function of the name).
+    const char *functions[] = {"c-hello", "python-hello", "ds-text",
+                               "java-specjbb"};
+    Cluster a(4, PlacementPolicy::FunctionAffinity,
+              PlatformConfig{BootStrategy::CatalyzerWarm});
+    Cluster b(4, PlacementPolicy::FunctionAffinity,
+              PlatformConfig{BootStrategy::CatalyzerWarm});
+    for (const char *fn : functions) {
+        a.deploy(apps::appByName(fn));
+        b.deploy(apps::appByName(fn));
+        EXPECT_EQ(a.invoke(fn).machineIndex, b.invoke(fn).machineIndex)
+            << fn;
+    }
+}
+
+TEST(ClusterTest, RoundRobinDistributionIsExact)
+{
+    Cluster cluster(3, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerWarm});
+    cluster.deploy(apps::appByName("ds-text"));
+    for (int i = 0; i < 7; ++i)
+        cluster.invoke("ds-text");
+    // 7 requests over 3 machines in order: 3, 2, 2.
+    const auto placement = cluster.placementOf("ds-text");
+    EXPECT_EQ(placement[0], 3u);
+    EXPECT_EQ(placement[1], 2u);
+    EXPECT_EQ(placement[2], 2u);
+}
+
+TEST(ClusterTest, NetworkAwarePrefersTemplateHolder)
+{
+    net::FabricConfig fabric;
+    fabric.modelTransfers = true;
+    fabric.remoteFork = true;
+    Cluster cluster(4, PlacementPolicy::NetworkAware,
+                    PlatformConfig{BootStrategy::CatalyzerAuto}, {},
+                    sim::CostModel{}, 42, fabric);
+    const apps::AppProfile &app = apps::appByName("python-hello");
+    cluster.deploy(app);
+    // Only machine 2 holds the template: requests should go there (a
+    // local sfork) even though machines 0 and 1 are equally idle.
+    cluster.platform(2).prepare(app);
+    for (int i = 0; i < 3; ++i) {
+        const auto out = cluster.invoke("python-hello");
+        EXPECT_EQ(out.machineIndex, 2u);
+        EXPECT_EQ(out.record.tierServed, "sfork");
+    }
+}
+
+TEST(ClusterTest, FleetStatsSnapshotAggregates)
+{
+    Cluster cluster(3, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerWarm});
+    cluster.deploy(apps::appByName("c-hello"));
+    for (int i = 0; i < 6; ++i)
+        cluster.invoke("c-hello");
+    std::ostringstream os;
+    cluster.statsSnapshot(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"machines\": 3"), std::string::npos);
+    // 6 invocations fleet-wide although each machine only saw 2.
+    EXPECT_NE(json.find("\"platform.invocations\": 6"),
+              std::string::npos);
+    EXPECT_EQ(
+        cluster.machine(0).ctx().stats().value("platform.invocations"),
+        2);
 }
 
 TEST(ClusterTest, EmptyClusterIsFatal)

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "catalyzer/runtime.h"
+#include "net/fabric.h"
+#include "remote/template_registry.h"
 #include "sandbox/pipelines.h"
 #include "snapshot/image_store.h"
 
@@ -72,6 +76,83 @@ TEST(ImageStoreTest, RemoteFetchPaysNetworkOnce)
     const auto mid = machine.ctx().now();
     store.fetch("python-hello", ImageFormat::SeparatedWellFormed);
     EXPECT_EQ(machine.ctx().now(), mid);
+}
+
+TEST(ImageStoreTest, FlatCompatFabricFetchIsBitIdentical)
+{
+    // Satellite regression for the fabric refactor: routing fetch()
+    // through a flat-compat net::Fabric must leave the default fetch
+    // latency and counters exactly as the legacy flat charge, whether
+    // the store owns the fabric (standalone machine) or a Cluster
+    // attached one.
+    auto run = [](bool attach) {
+        Machine machine(7);
+        FunctionRegistry registry(machine);
+        ImageStore store(machine.ctx());
+        net::Fabric fabric; // default: modelTransfers off
+        if (attach)
+            store.attachFabric(&fabric, 0);
+        store.publish(buildImage(registry, "python-django"));
+        store.evictLocal("python-django",
+                         ImageFormat::SeparatedWellFormed);
+        const auto before = machine.ctx().now();
+        store.fetch("python-django", ImageFormat::SeparatedWellFormed);
+        return machine.ctx().now() - before;
+    };
+    const sim::SimTime attached = run(true);
+    const sim::SimTime unattached = run(false);
+    EXPECT_EQ(attached, unattached);
+
+    // And both equal the legacy formula: flat per-MiB charge plus the
+    // manifest parse.
+    Machine machine(7);
+    FunctionRegistry registry(machine);
+    auto image = buildImage(registry, "python-django");
+    const auto mib = static_cast<std::int64_t>(
+        mem::bytesForPages(image->totalPages()) >> 20);
+    const sim::SimTime legacy =
+        machine.ctx().costs().networkFetchPerMiB *
+            std::max<std::int64_t>(mib, 1) +
+        machine.ctx().costs().imageManifestParse;
+    EXPECT_EQ(attached, legacy);
+}
+
+TEST(ImageStoreTest, P2PFetchStreamsFromNearestReplica)
+{
+    // Two machines on a modeled fabric: machine 1 fetches from origin
+    // (registering itself as a replica), machine 0 then fetches from
+    // machine 1 instead of origin — faster, because peers stream at
+    // full NIC bandwidth while origin is the shared blob store.
+    net::FabricConfig config;
+    config.modelTransfers = true;
+    config.p2pImages = true;
+    net::Fabric fabric(config);
+    remote::TemplateRegistry registry(&fabric);
+
+    Machine m0(7), m1(8);
+    FunctionRegistry f0(m0), f1(m1);
+    ImageStore s0(m0.ctx()), s1(m1.ctx());
+    s0.attachFabric(&fabric, 0, &registry);
+    s1.attachFabric(&fabric, 1, &registry);
+
+    // Images are built per machine (BackingFiles are machine-local)
+    // and published under the same key.
+    s0.publish(buildImage(f0, "python-django"));
+    s0.evictLocal("python-django", ImageFormat::SeparatedWellFormed);
+    s1.publish(buildImage(f1, "python-django"));
+    s1.evictLocal("python-django", ImageFormat::SeparatedWellFormed);
+
+    const auto t1 = m1.ctx().now();
+    s1.fetch("python-django", ImageFormat::SeparatedWellFormed);
+    const sim::SimTime origin_fetch = m1.ctx().now() - t1;
+    EXPECT_EQ(m1.ctx().stats().value("snapshot.p2p_fetches"), 0);
+
+    const auto t0 = m0.ctx().now();
+    s0.fetch("python-django", ImageFormat::SeparatedWellFormed);
+    const sim::SimTime p2p_fetch = m0.ctx().now() - t0;
+    EXPECT_EQ(m0.ctx().stats().value("snapshot.p2p_fetches"), 1);
+    EXPECT_LT(p2p_fetch, origin_fetch);
+    EXPECT_GT(m0.ctx().stats().value("net.transfers"), 0);
 }
 
 TEST(ImageStoreTest, VerifyDetectsCorruption)
