@@ -8,18 +8,28 @@
  *   - trace_report.metrics.json  the machine's unified StatRegistry
  *                                snapshot (counters + p50/p90/p99
  *                                boot-latency histograms per system)
- *   - trace_report.cluster.json  a fleet-wide snapshot from a small
- *                                remote-sfork cluster: every machine's
- *                                counters summed and histograms merged
- *                                (Cluster::statsSnapshot)
+ *   - trace_report.fleet.trace.json       one merged Chrome trace from
+ *                                         a small remote-sfork cluster:
+ *                                         pid = machine, tid = the
+ *                                         distributed trace id, so a
+ *                                         borrowed boot renders as one
+ *                                         stitched timeline across the
+ *                                         lender's and borrower's lanes
+ *   - trace_report.fleet.metrics.json     fleet counters + histograms
+ *                                         (Cluster::statsSnapshot)
+ *   - trace_report.fleet.timeseries.json  fleet-merged windowed series
  *
  * and prints the span tree of the first Catalyzer cold boot plus a
- * boot-latency summary table.
+ * boot-latency summary table. `trace_report --fleet` skips the
+ * single-machine sweep and produces only the fleet artifacts.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 
 #include "bench_util.h"
 #include "catalyzer/runtime.h"
@@ -50,14 +60,108 @@ writeFileOrDie(const char *path, void (*emit)(const trace::Tracer &,
     std::printf("wrote %s\n", path);
 }
 
+/**
+ * The fleet view (distributed layer): a small cluster where machine 0
+ * lends its template over the modeled fabric and the others
+ * remote-sfork from it. Untraced cluster invokes self-trace into each
+ * machine's always-on ring, so the merged export carries every
+ * request — including the lender-side lend-template / serve-pull-batch
+ * halves stitched to the borrowers' boots by their shared trace ids.
+ */
+int
+runFleet()
+{
+    net::FabricConfig fabric;
+    fabric.modelTransfers = true;
+    fabric.remoteFork = true;
+    platform::Cluster cluster(
+        3, platform::PlacementPolicy::RoundRobin,
+        platform::PlatformConfig{platform::BootStrategy::CatalyzerAuto},
+        {}, sim::CostModel{}, 42, fabric);
+    const apps::AppProfile &app = apps::appByName("python-hello");
+    cluster.deploy(app);
+    cluster.platform(0).prepare(app);
+    for (int i = 0; i < 6; ++i)
+        cluster.invoke(app.name);
+
+    // How many distributed traces actually crossed machines.
+    std::map<trace::TraceId, std::set<std::uint32_t>> lanes;
+    for (std::size_t m = 0; m < cluster.machineCount(); ++m) {
+        for (const trace::Span &s :
+             cluster.machine(m).tracer().snapshot()) {
+            if (s.traceId != 0)
+                lanes[s.traceId].insert(s.machine);
+        }
+    }
+    std::size_t stitched = 0;
+    for (const auto &[id, machines] : lanes)
+        stitched += machines.size() > 1 ? 1 : 0;
+
+    {
+        std::ofstream os("trace_report.fleet.trace.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write fleet trace\n");
+            return 1;
+        }
+        cluster.exportFleetTrace(os);
+        std::printf("wrote trace_report.fleet.trace.json "
+                    "(%zu traces, %zu stitched across machines)\n",
+                    lanes.size(), stitched);
+    }
+    {
+        std::ofstream os("trace_report.fleet.metrics.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write fleet metrics\n");
+            return 1;
+        }
+        cluster.statsSnapshot(os);
+        std::printf("wrote trace_report.fleet.metrics.json\n");
+    }
+    {
+        std::ofstream os("trace_report.fleet.timeseries.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write fleet series\n");
+            return 1;
+        }
+        cluster.writeTimeSeriesJson(os);
+        std::printf("wrote trace_report.fleet.timeseries.json\n");
+    }
+    std::printf("(3 machines, %lld remote forks, %lld fabric "
+                "transfers fleet-wide)\n",
+                static_cast<long long>(
+                    cluster.machine(1).ctx().stats().value(
+                        "remote.fork_hits") +
+                    cluster.machine(2).ctx().stats().value(
+                        "remote.fork_hits")),
+                static_cast<long long>(
+                    cluster.machine(1).ctx().stats().value(
+                        "net.transfers") +
+                    cluster.machine(2).ctx().stats().value(
+                        "net.transfers")));
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool fleet_only =
+        argc > 1 && std::strcmp(argv[1], "--fleet") == 0;
     bench::banner("trace_report",
-                  "Boot tracing + metrics across all boot paths "
-                  "(observability layer demo)");
+                  fleet_only
+                      ? "Fleet-stitched distributed traces + windowed "
+                        "metrics (observability layer demo)"
+                      : "Boot tracing + metrics across all boot paths "
+                        "(observability layer demo)");
+    if (fleet_only) {
+        const int rc = runFleet();
+        bench::footer();
+        return rc;
+    }
 
     sandbox::Machine machine(42);
     sandbox::FunctionRegistry registry(machine);
@@ -167,49 +271,8 @@ main()
         std::printf("wrote trace_report.metrics.json\n");
     }
 
-    //
-    // Fleet view (distributed layer): a small cluster where machine 0
-    // lends its template over the modeled fabric and the others
-    // remote-sfork from it. The aggregated snapshot sums every
-    // machine's counters (net.*, remote.*, platform.*) and merges the
-    // histograms, which no single machine's metrics file can show.
-    //
-    {
-        net::FabricConfig fabric;
-        fabric.modelTransfers = true;
-        fabric.remoteFork = true;
-        platform::Cluster cluster(
-            3, platform::PlacementPolicy::RoundRobin,
-            platform::PlatformConfig{
-                platform::BootStrategy::CatalyzerAuto},
-            {}, sim::CostModel{}, 42, fabric);
-        const apps::AppProfile &app = apps::appByName("python-hello");
-        cluster.deploy(app);
-        cluster.platform(0).prepare(app);
-        for (int i = 0; i < 6; ++i)
-            cluster.invoke(app.name);
-
-        std::ofstream os("trace_report.cluster.json");
-        if (!os) {
-            std::fprintf(stderr,
-                         "trace_report: cannot write cluster json\n");
-            return 1;
-        }
-        cluster.statsSnapshot(os);
-        std::printf("wrote trace_report.cluster.json "
-                    "(3 machines, %lld remote forks, %lld fabric "
-                    "transfers fleet-wide)\n",
-                    static_cast<long long>(
-                        cluster.machine(1).ctx().stats().value(
-                            "remote.fork_hits") +
-                        cluster.machine(2).ctx().stats().value(
-                            "remote.fork_hits")),
-                    static_cast<long long>(
-                        cluster.machine(1).ctx().stats().value(
-                            "net.transfers") +
-                        cluster.machine(2).ctx().stats().value(
-                            "net.transfers")));
-    }
+    if (runFleet() != 0)
+        return 1;
 
     bench::footer();
     return 0;

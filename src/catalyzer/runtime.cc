@@ -61,14 +61,15 @@ CatalyzerRuntime::bootWarm(FunctionArtifacts &fn,
 }
 
 std::shared_ptr<snapshot::FuncImage>
-CatalyzerRuntime::fetchRemoteImage(FunctionArtifacts &fn)
+CatalyzerRuntime::fetchRemoteImage(FunctionArtifacts &fn,
+                                   trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
     const auto format = snapshot::ImageFormat::SeparatedWellFormed;
     const faults::RetryPolicy &retry = injector_.retry();
     const int max_attempts = std::max(1, retry.maxAttempts);
     for (int attempt = 1;; ++attempt) {
-        auto image = images_.fetch(fn.app().name, format);
+        auto image = images_.fetch(fn.app().name, format, trace);
         if (image)
             return image;
         if (!images_.publishedRemotely(fn.app().name, format))
@@ -105,7 +106,7 @@ CatalyzerRuntime::acquireImage(FunctionArtifacts &fn,
             images_.evictLocal(fn.app().name,
                                snapshot::ImageFormat::SeparatedWellFormed);
         }
-        image = fetchRemoteImage(fn);
+        image = fetchRemoteImage(fn, span.context());
     }
 
     if (options_.verifyImages) {
@@ -143,7 +144,7 @@ CatalyzerRuntime::acquireImage(FunctionArtifacts &fn,
                 images_.evictLocal(
                     fn.app().name,
                     snapshot::ImageFormat::SeparatedWellFormed);
-                image = fetchRemoteImage(fn);
+                image = fetchRemoteImage(fn, span.context());
                 ctx.stats().incr(
                     "catalyzer.image_refetch_after_rebuild");
             }
@@ -614,6 +615,22 @@ CatalyzerRuntime::bootRemoteFork(FunctionArtifacts &fn,
     const std::string tag = "rfork" + std::to_string(boot_seq_++);
 
     //
+    // Lender-side half of the stitched trace: a "lend-template" span in
+    // the *lender's* tracer carrying the borrower's distributed trace
+    // id, open from the handshake through the working-set pull. The
+    // fleet exporter lines both halves up by that shared id.
+    //
+    trace::TraceContext peer_ctx;
+    if (src.peerTracer != nullptr && src.peerClock != nullptr &&
+        tctx.enabled())
+        peer_ctx = tctx.withTracer(*src.peerTracer, *src.peerClock);
+    trace::ScopedSpan lend_span(peer_ctx, "lend-template");
+    if (lend_span.id() != 0) {
+        lend_span.attr("function", app.name);
+        lend_span.attr("borrower", static_cast<std::int64_t>(src.self));
+    }
+
+    //
     // Handshake: one round trip fetches the fork descriptor (the
     // template's layout, thread contexts and relation-table index) from
     // the lender. The memory itself stays remote.
@@ -825,9 +842,11 @@ CatalyzerRuntime::bootRemoteFork(FunctionArtifacts &fn,
     // MITOSIS-style). Working-set recording is skipped for borrowed
     // instances — the lender owns the manifest.
     //
+    lend_span.finish();
     inst->setLifetimePager(std::make_unique<net::RemotePager>(
         ctx, *src.fabric, src.self, src.peer, base_va,
-        image->totalPages(), &injector_, options_.remotePullBatchPages));
+        image->totalPages(), &injector_, options_.remotePullBatchPages,
+        tctx, peer_ctx));
 
     inst->setMemoryLayout(binary_va, heap_va, heap_pages,
                           /*heap_on_base=*/true);

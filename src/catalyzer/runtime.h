@@ -44,6 +44,15 @@ struct RemoteForkSource
     net::Fabric *fabric = nullptr;
     net::NodeId self = 0;
     net::NodeId peer = 0;
+    /**
+     * Lender-side observability endpoints (optional): with both set, a
+     * traced remote-sfork emits "lend-template" / "serve-pull-batch"
+     * spans into the *lender's* tracer carrying the borrower's
+     * distributed trace id, which is what lets the fleet exporter
+     * stitch both machines' halves of the boot into one timeline.
+     */
+    trace::Tracer *peerTracer = nullptr;
+    const sim::VirtualClock *peerClock = nullptr;
 };
 
 /** Feature switches; the defaults are full Catalyzer. Turning individual
@@ -206,7 +215,8 @@ class CatalyzerRuntime
      * restore tier then degrades to a fresh boot).
      */
     std::shared_ptr<snapshot::FuncImage>
-    fetchRemoteImage(sandbox::FunctionArtifacts &fn);
+    fetchRemoteImage(sandbox::FunctionArtifacts &fn,
+                     trace::TraceContext trace = {});
     std::unique_ptr<sandbox::SandboxInstance>
     sforkFrom(sandbox::SandboxInstance &tmpl,
               sandbox::FunctionArtifacts &fn, sandbox::BootReport &report,

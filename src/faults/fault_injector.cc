@@ -81,6 +81,8 @@ FaultInjector::record(FaultSite site, sim::StatRegistry &stats)
     sim::debugLog("fault injected at %s (#%llu)", faultSiteName(site),
                   static_cast<unsigned long long>(
                       injected_[static_cast<std::size_t>(site)]));
+    if (on_inject_)
+        on_inject_(site);
 }
 
 bool

@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -193,6 +194,18 @@ class FaultInjector
         return injected_[static_cast<std::size_t>(site)];
     }
 
+    /**
+     * Incident sink: called on every delivered injection (after the
+     * counter is bumped), whether the site recovers via retry or
+     * escalates to a tier fallback. The flight recorder hooks this to
+     * capture a postmortem at the moment the fault fires. Pay-for-use
+     * holds: with nothing injected the sink is never invoked.
+     */
+    void setOnInject(std::function<void(FaultSite)> sink)
+    {
+        on_inject_ = std::move(sink);
+    }
+
   private:
     void record(FaultSite site, sim::StatRegistry &stats);
 
@@ -201,6 +214,7 @@ class FaultInjector
     sim::Rng rng_;
     std::array<std::uint64_t, kFaultSiteCount> pending_{};
     std::array<std::uint64_t, kFaultSiteCount> injected_{};
+    std::function<void(FaultSite)> on_inject_;
 };
 
 } // namespace catalyzer::faults

@@ -104,6 +104,8 @@ Fabric::transfer(sim::SimContext &ctx, NodeId src, NodeId dst,
     ctx.charge(t.total);
     ctx.stats().incr("net.transfers");
     ctx.stats().incr("net.bytes", static_cast<std::int64_t>(bytes));
+    ctx.stats().observeWindowed("win.net.bytes", ctx.now(),
+                                static_cast<double>(bytes));
     if (t.crossRack)
         ctx.stats().incr("net.cross_rack_transfers");
     return t;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/clock.h"
+
 namespace catalyzer::net {
 
 RemotePager::RemotePager(sim::SimContext &ctx, Fabric &fabric,
@@ -9,10 +11,13 @@ RemotePager::RemotePager(sim::SimContext &ctx, Fabric &fabric,
                          mem::PageIndex window_start,
                          std::size_t window_pages,
                          faults::FaultInjector *injector,
-                         std::size_t batch_pages)
-    : ctx_(ctx), fabric_(fabric), self_(self), source_(peer),
-      window_start_(window_start), window_pages_(window_pages),
-      injector_(injector),
+                         std::size_t batch_pages,
+                         trace::TraceContext borrow_trace,
+                         trace::TraceContext lend_trace)
+    : ctx_(ctx), fabric_(fabric), self_(self), peer_(peer),
+      source_(peer), borrow_trace_(borrow_trace),
+      lend_trace_(lend_trace), window_start_(window_start),
+      window_pages_(window_pages), injector_(injector),
       batch_pages_(std::max<std::size_t>(batch_pages, 1)),
       lease_(fabric, peer)
 {
@@ -46,6 +51,7 @@ void
 RemotePager::openBatch()
 {
     const auto &costs = ctx_.costs();
+    sim::Stopwatch watch(ctx_.clock());
     if (injector_ != nullptr) {
         if (source_ != kOriginStorage &&
             injector_->shouldFail(faults::FaultSite::RemotePeerDeath,
@@ -69,6 +75,24 @@ RemotePager::openBatch()
     ctx_.stats().incr("remote.pull_batches");
     ++batches_;
     batch_left_ = batch_pages_;
+    // Stitch the pull into the boot's distributed trace: a borrower
+    // span covering the request setup, plus a marker in the lender's
+    // tracer while it is still the one serving. Both carry the trace id
+    // captured when the instance was borrowed.
+    if (borrow_trace_.enabled()) {
+        const trace::SpanId id = borrow_trace_.completedSpan(
+            "remote-pull-batch", watch.elapsed());
+        borrow_trace_.tracer()->attribute(
+            id, "source",
+            source_ == kOriginStorage ? "origin"
+                                      : std::to_string(source_));
+    }
+    if (source_ == peer_ && lend_trace_.enabled()) {
+        const trace::SpanId id = lend_trace_.completedSpan(
+            "serve-pull-batch", sim::SimTime::zero());
+        lend_trace_.tracer()->attribute(id, "borrower",
+                                        std::to_string(self_));
+    }
 }
 
 void

@@ -27,6 +27,7 @@
 #include "mem/address_space.h"
 #include "net/fabric.h"
 #include "sim/context.h"
+#include "trace/trace.h"
 
 namespace catalyzer::net {
 
@@ -43,12 +44,21 @@ class RemotePager : public mem::FaultObserver
      * @param window_pages Window extent.
      * @param injector     Fault source; nullptr disables injection.
      * @param batch_pages  Pages per pull request.
+     * @param borrow_trace Borrower-side trace context (captured at boot
+     *                     time, so lifetime pulls stay tagged with the
+     *                     boot's distributed trace id); disabled = no
+     *                     spans.
+     * @param lend_trace   Lender-side context carrying the same trace
+     *                     id; each batch served while the lender is
+     *                     alive drops a marker span into its tracer.
      */
     RemotePager(sim::SimContext &ctx, Fabric &fabric, NodeId self,
                 NodeId peer, mem::PageIndex window_start,
                 std::size_t window_pages,
                 faults::FaultInjector *injector,
-                std::size_t batch_pages);
+                std::size_t batch_pages,
+                trace::TraceContext borrow_trace = {},
+                trace::TraceContext lend_trace = {});
 
     void onFault(mem::PageIndex page, bool write,
                  mem::FaultResult result) override;
@@ -77,7 +87,11 @@ class RemotePager : public mem::FaultObserver
     sim::SimContext &ctx_;
     Fabric &fabric_;
     NodeId self_;
+    /** The original lender (source_ reroutes to origin on its death). */
+    NodeId peer_;
     NodeId source_;
+    trace::TraceContext borrow_trace_;
+    trace::TraceContext lend_trace_;
     mem::PageIndex window_start_;
     std::size_t window_pages_;
     faults::FaultInjector *injector_;

@@ -1,0 +1,42 @@
+#include "obs/fleet_trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "trace/export.h"
+
+namespace catalyzer::obs {
+
+std::vector<trace::Span>
+mergeFleetSpans(const std::vector<const trace::Tracer *> &tracers)
+{
+    std::vector<trace::Span> merged;
+    for (const trace::Tracer *tracer : tracers) {
+        if (tracer == nullptr)
+            continue;
+        std::vector<trace::Span> spans = tracer->snapshot();
+        merged.insert(merged.end(),
+                      std::make_move_iterator(spans.begin()),
+                      std::make_move_iterator(spans.end()));
+    }
+    // Deterministic order: machine lane, then start time, then creation
+    // order within the machine (span ids are per-tracer monotonic).
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const trace::Span &a, const trace::Span &b) {
+                         if (a.machine != b.machine)
+                             return a.machine < b.machine;
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         return a.id < b.id;
+                     });
+    return merged;
+}
+
+void
+exportFleetChromeTrace(const std::vector<const trace::Tracer *> &tracers,
+                       std::ostream &os)
+{
+    trace::exportChromeTrace(mergeFleetSpans(tracers), os);
+}
+
+} // namespace catalyzer::obs

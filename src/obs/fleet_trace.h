@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fleet trace export: merge per-machine tracers into one Chrome trace.
+ *
+ * Every machine records spans into its own Tracer on its own virtual
+ * clock; a cross-machine boot (remote-sfork, P2P image fetch) leaves
+ * pieces of one request in several buffers, all carrying the same
+ * distributed trace id. The fleet exporter concatenates the buffers
+ * into a single trace_event document where pid = machine and tid =
+ * trace id, so chrome://tracing / Perfetto renders the lender's
+ * "lend-template" span and the borrower's "boot/Catalyzer-remote-sfork"
+ * tree as one aligned timeline instead of two disconnected forests.
+ */
+
+#ifndef CATALYZER_OBS_FLEET_TRACE_H
+#define CATALYZER_OBS_FLEET_TRACE_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace catalyzer::obs {
+
+/**
+ * Merge the snapshots of @p tracers (machine order, then span creation
+ * order) and write one Chrome trace_event JSON document. Null entries
+ * are skipped.
+ */
+void exportFleetChromeTrace(
+    const std::vector<const trace::Tracer *> &tracers, std::ostream &os);
+
+/** The merged, ordered span list the exporter writes (for tests). */
+std::vector<trace::Span>
+mergeFleetSpans(const std::vector<const trace::Tracer *> &tracers);
+
+} // namespace catalyzer::obs
+
+#endif // CATALYZER_OBS_FLEET_TRACE_H

@@ -1,0 +1,91 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/json.h"
+
+namespace catalyzer::obs {
+
+SloReport
+evaluateSlo(const sim::WindowedHistogram &series, const SloTarget &target)
+{
+    SloReport report;
+    report.target = target;
+    const double budget = std::max(1.0 - target.objective, 1e-12);
+    for (const auto &w : series.windows()) {
+        SloWindow out;
+        out.index = w.index;
+        out.start = series.windowStart(w.index);
+        out.count = w.series.count();
+        out.percentileValue = w.series.percentile(target.percentile);
+        // Exact count of bad events, not an interpolated estimate: a
+        // window with 3 samples and one violation must read 1/3, and
+        // tails matter precisely when counts are small.
+        for (double v : w.series.raw()) {
+            if (v > target.thresholdMs)
+                ++out.badEvents;
+        }
+        out.badFraction =
+            out.count == 0 ? 0.0
+                           : static_cast<double>(out.badEvents) /
+                                 static_cast<double>(out.count);
+        out.burnRate = out.badFraction / budget;
+        out.met = out.badFraction <= (1.0 - target.objective) + 1e-12;
+        report.totalEvents += out.count;
+        report.badEvents += out.badEvents;
+        report.worstBurnRate =
+            std::max(report.worstBurnRate, out.burnRate);
+        if (out.met)
+            ++report.windowsMet;
+        report.windows.push_back(std::move(out));
+    }
+    return report;
+}
+
+void
+writeSloJson(std::ostream &os, const std::vector<SloReport> &reports)
+{
+    os << "{\n  \"slos\": [";
+    bool first = true;
+    for (const SloReport &report : reports) {
+        os << (first ? "\n" : ",\n") << "    {\"metric\": \""
+           << sim::jsonEscape(report.target.metric)
+           << "\", \"threshold_ms\": ";
+        sim::writeJsonNumber(os, report.target.thresholdMs);
+        os << ", \"objective\": ";
+        sim::writeJsonNumber(os, report.target.objective);
+        os << ", \"percentile\": ";
+        sim::writeJsonNumber(os, report.target.percentile);
+        os << ", \"total_events\": " << report.totalEvents
+           << ", \"bad_events\": " << report.badEvents
+           << ", \"attainment\": ";
+        sim::writeJsonNumber(os, report.attainment());
+        os << ", \"objective_met\": "
+           << (report.objectiveMet() ? "true" : "false")
+           << ", \"worst_burn_rate\": ";
+        sim::writeJsonNumber(os, report.worstBurnRate);
+        os << ", \"windows_met\": " << report.windowsMet
+           << ",\n     \"windows\": [";
+        bool wfirst = true;
+        for (const SloWindow &w : report.windows) {
+            os << (wfirst ? "\n" : ",\n")
+               << "       {\"index\": " << w.index << ", \"start_ms\": ";
+            sim::writeJsonNumber(os, w.start.toMs());
+            os << ", \"count\": " << w.count << ", \"p\": ";
+            sim::writeJsonNumber(os, w.percentileValue);
+            os << ", \"bad_events\": " << w.badEvents
+               << ", \"bad_fraction\": ";
+            sim::writeJsonNumber(os, w.badFraction);
+            os << ", \"burn_rate\": ";
+            sim::writeJsonNumber(os, w.burnRate);
+            os << ", \"met\": " << (w.met ? "true" : "false") << "}";
+            wfirst = false;
+        }
+        os << "\n     ]}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace catalyzer::obs

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Windowed SLO evaluation with burn-rate accounting.
+ *
+ * An SLO here is "fraction of events under thresholdMs must be at
+ * least objective" (e.g. 99.9% of boots under 5 ms). Evaluated against
+ * a WindowedHistogram it yields, per window, the achieved percentile,
+ * the bad-event fraction and the burn rate — badFraction divided by
+ * the error budget (1 - objective), the standard SRE measure: burn
+ * rate 1 consumes the budget exactly at the sustainable pace, burn
+ * rate 10 exhausts a 30-day budget in 3 days. Tail latency over time
+ * is exactly what lifetime aggregates hide (a 10-second outage
+ * disappears into a day's p99); the per-window view is what the fleet
+ * traffic engine scores against.
+ */
+
+#ifndef CATALYZER_OBS_SLO_H
+#define CATALYZER_OBS_SLO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace catalyzer::obs {
+
+/** One service-level objective over a windowed latency series. */
+struct SloTarget
+{
+    /** Windowed-series name this target scores (for reports). */
+    std::string metric;
+    /** Latency threshold defining a "good" event, in the series' unit
+     *  (milliseconds for the boot/e2e series). */
+    double thresholdMs = 1.0;
+    /** Required good-event fraction, e.g. 0.999. */
+    double objective = 0.999;
+    /** Percentile reported per window alongside the verdict. */
+    double percentile = 99.0;
+};
+
+/** Per-window evaluation outcome. */
+struct SloWindow
+{
+    std::int64_t index = 0;
+    sim::SimTime start;
+    std::size_t count = 0;
+    /** The target percentile's value in this window. */
+    double percentileValue = 0.0;
+    std::size_t badEvents = 0;
+    double badFraction = 0.0;
+    /** badFraction / (1 - objective); 1.0 = sustainable pace. */
+    double burnRate = 0.0;
+    /** Window met the objective (badFraction <= 1 - objective). */
+    bool met = true;
+};
+
+/** Whole-series evaluation of one target. */
+struct SloReport
+{
+    SloTarget target;
+    std::vector<SloWindow> windows;
+    std::size_t totalEvents = 0;
+    std::size_t badEvents = 0;
+    double worstBurnRate = 0.0;
+    std::size_t windowsMet = 0;
+
+    /** Overall good-event fraction (1.0 on an empty series). */
+    double
+    attainment() const
+    {
+        if (totalEvents == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(badEvents) /
+                         static_cast<double>(totalEvents);
+    }
+
+    bool
+    objectiveMet() const
+    {
+        return attainment() >= target.objective;
+    }
+};
+
+/** Evaluate @p target over @p series (exact bad-event counts, not
+ *  interpolated percentiles). */
+SloReport evaluateSlo(const sim::WindowedHistogram &series,
+                      const SloTarget &target);
+
+/**
+ * JSON report for a batch of evaluations:
+ * {"slos": [{"metric", "threshold_ms", "objective", "attainment",
+ * "objective_met", "worst_burn_rate", "windows": [...]}, ...]}.
+ */
+void writeSloJson(std::ostream &os,
+                  const std::vector<SloReport> &reports);
+
+} // namespace catalyzer::obs
+
+#endif // CATALYZER_OBS_SLO_H

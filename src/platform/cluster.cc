@@ -3,6 +3,7 @@
 #include <functional>
 #include <ostream>
 
+#include "obs/fleet_trace.h"
 #include "sim/logging.h"
 
 namespace catalyzer::platform {
@@ -32,6 +33,9 @@ Cluster::Cluster(std::size_t machines, PlacementPolicy policy,
         Node node;
         node.machine =
             std::make_unique<sandbox::Machine>(seed + i, costs);
+        // Node id before the platform: its flight recorder and span
+        // lane tags capture the id at construction.
+        node.machine->setNodeId(static_cast<std::uint32_t>(i));
         node.platform = std::make_unique<ServerlessPlatform>(
             *node.machine, config, options);
         // Image fetches ride the shared fabric (in flat-compat mode by
@@ -63,6 +67,11 @@ Cluster::Cluster(std::size_t machines, PlacementPolicy policy,
                 src.manifest = fn->workingSet;
                 src.fabric = &fabric_;
                 src.peer = peer;
+                // Lender-side observability endpoints: the borrower's
+                // boot re-homes its trace id onto this tracer so both
+                // halves of the handshake share one distributed trace.
+                src.peerTracer = &nodes_[peer].machine->tracer();
+                src.peerClock = &nodes_[peer].machine->ctx().clock();
                 return src;
             };
             node.platform->setRemoteEnv(std::move(env));
@@ -175,6 +184,12 @@ Cluster::invoke(const std::string &function_name,
                 trace::TraceContext trace)
 {
     const std::size_t target = pick(function_name);
+    if (!trace.enabled()) {
+        // Self-trace into the chosen machine's always-on ring so fleet
+        // exports and flight-recorder dumps see the whole request.
+        sandbox::Machine &m = *nodes_[target].machine;
+        trace = trace::TraceContext(m.tracer(), m.ctx().clock());
+    }
     trace::ScopedSpan span(trace, "cluster-invoke");
     span.attr("function", function_name);
     span.attr("machine", static_cast<std::int64_t>(target));
@@ -223,24 +238,50 @@ Cluster::placementOf(const std::string &function_name) const
 }
 
 void
-Cluster::statsSnapshot(std::ostream &os) const
+Cluster::mergeStats(sim::StatRegistry &out) const
 {
-    // Fold every machine's registry into one: counters sum, histogram
-    // samples concatenate (machine order, then sample order, so the
+    // Counters sum, histogram samples concatenate, windowed series
+    // merge per window (machine order, then sample order, so the
     // output is deterministic).
-    sim::StatRegistry fleet;
     for (const auto &node : nodes_) {
         const sim::StatRegistry &stats = node.machine->ctx().stats();
         for (const auto &[name, value] : stats.all())
-            fleet.incr(name, value);
+            out.incr(name, value);
         for (const auto &[name, series] : stats.histograms()) {
             for (double ms : series.raw())
-                fleet.observeMs(name, ms);
+                out.observeMs(name, ms);
         }
+        for (const auto &[name, series] : stats.windowedSeries())
+            out.windowed(name).merge(series);
     }
+}
+
+void
+Cluster::statsSnapshot(std::ostream &os) const
+{
+    sim::StatRegistry fleet;
+    mergeStats(fleet);
     os << "{\"machines\": " << nodes_.size() << ", \"fleet\": ";
     fleet.writeJson(os);
     os << "}\n";
+}
+
+void
+Cluster::exportFleetTrace(std::ostream &os) const
+{
+    std::vector<const trace::Tracer *> tracers;
+    tracers.reserve(nodes_.size());
+    for (const auto &node : nodes_)
+        tracers.push_back(&node.machine->tracer());
+    obs::exportFleetChromeTrace(tracers, os);
+}
+
+void
+Cluster::writeTimeSeriesJson(std::ostream &os) const
+{
+    sim::StatRegistry fleet;
+    mergeStats(fleet);
+    fleet.writeTimeSeriesJson(os);
 }
 
 } // namespace catalyzer::platform

@@ -82,9 +82,12 @@ class Cluster
     void prepareEverywhere(const apps::AppProfile &app);
 
     /**
-     * Route one request through the scheduler. With an enabled
-     * @p trace, emits a "cluster-invoke" span annotated with the chosen
-     * machine, wrapping the platform's "invoke/<function>" span.
+     * Route one request through the scheduler: a "cluster-invoke" span
+     * annotated with the chosen machine, wrapping the platform's
+     * "invoke/<function>" span. With a disabled @p trace the request
+     * self-traces into the chosen machine's always-on ring tracer
+     * under a fresh distributed trace id, so fleet exports carry every
+     * request without any caller opt-in.
      */
     ClusterInvocation invoke(const std::string &function_name,
                              trace::TraceContext trace = {});
@@ -112,6 +115,26 @@ class Cluster
      * count: {"machines": N, "fleet": {counters..., histograms...}}.
      */
     void statsSnapshot(std::ostream &os) const;
+
+    /**
+     * Fold every machine's registry into @p out: counters summed,
+     * histogram samples concatenated, windowed series merged per
+     * window (machine order, so the result is deterministic).
+     */
+    void mergeStats(sim::StatRegistry &out) const;
+
+    /**
+     * One merged Chrome trace for the whole fleet: every machine's
+     * ring tracer, pid = machine lane, tid = distributed trace id. A
+     * remote-sfork boot renders as one timeline — the borrower's boot
+     * tree in its machine lane and the lender's lend-template /
+     * serve-pull-batch spans in its own, joined by the trace id.
+     */
+    void exportFleetTrace(std::ostream &os) const;
+
+    /** Fleet-merged windowed time-series JSON (see
+     *  StatRegistry::writeTimeSeriesJson). */
+    void writeTimeSeriesJson(std::ostream &os) const;
 
   private:
     std::size_t pick(const std::string &function_name);

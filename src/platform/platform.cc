@@ -1,6 +1,7 @@
 #include "platform/platform.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "faults/fault_injector.h"
 #include "sim/clock.h"
@@ -78,8 +79,19 @@ ServerlessPlatform::ServerlessPlatform(sandbox::Machine &machine,
                                        PlatformConfig config,
                                        core::CatalyzerOptions options)
     : machine_(machine), config_(config), registry_(machine),
-      runtime_(machine, options)
+      runtime_(machine, options),
+      recorder_(machine.nodeId(), machine.tracer(),
+                machine.ctx().clock(), machine.ctx().stats())
 {
+    // Black-box capture at the moment a fault fires — recoveries
+    // included, which a tier-fallback hook alone would miss. Strictly
+    // pay-for-use: a disabled injector never calls the sink.
+    runtime_.faults().setOnInject([this](faults::FaultSite site) {
+        recorder_.record("fault-injected", faults::faultSiteName(site),
+                         "", current_trace_);
+    });
+    if (const char *dir = std::getenv("CATALYZER_FLIGHT_DIR"))
+        recorder_.setDumpDirectory(dir);
 }
 
 FunctionArtifacts &
@@ -196,6 +208,9 @@ ServerlessPlatform::bootChain(FunctionArtifacts &fn, int tier,
             record.tierServed = bootTierName(std::min(
                 tier, static_cast<int>(kTierFresh)));
             stats.observeMs("boot.tier_served", tierServedValue(tier));
+            stats.observeWindowed("win.tier_served",
+                                  machine_.ctx().now(),
+                                  tierServedValue(tier));
             return result;
         } catch (const faults::FaultError &err) {
             // Degrade one tier instead of failing the request.
@@ -205,6 +220,10 @@ ServerlessPlatform::bootChain(FunctionArtifacts &fn, int tier,
             const std::string from = bootTierName(tier);
             const std::string to = bootTierName(next);
             stats.incr("boot.fallback." + from + "_" + to);
+            recorder_.record("tier-fallback",
+                             faults::faultSiteName(err.site()),
+                             from + " -> " + to + ": " + err.what(),
+                             trace.traceId());
             ++record.tierFallbacks;
             sim::debugLog("boot tier %s failed for %s (%s): "
                           "falling back to %s",
@@ -262,9 +281,16 @@ ServerlessPlatform::invoke(const std::string &function_name,
     FunctionArtifacts &fn =
         registry_.artifactsFor(apps::appByName(function_name));
 
+    // Always-on: an untraced request self-traces into the machine's
+    // bounded ring tracer, so a later incident has the spans that led
+    // up to it. Full-history callers pass their own tracer as before.
+    if (!trace.enabled())
+        trace = trace::TraceContext(machine_.tracer(), ctx.clock());
+
     trace::ScopedSpan invoke_span(trace, "invoke/" + function_name);
     invoke_span.attr("strategy", bootStrategyName(config_.strategy));
     const trace::TraceContext tctx = invoke_span.context();
+    current_trace_ = tctx.traceId();
 
     InvocationRecord record;
     record.function = function_name;
@@ -318,6 +344,20 @@ ServerlessPlatform::invoke(const std::string &function_name,
 
     ctx.stats().incr("platform.invocations");
     ctx.stats().observe("invoke.latency", record.endToEnd());
+    // Windowed time series: what the SLO engine evaluates. Boot latency
+    // per serving tier and per function, plus end-to-end latency, keyed
+    // to the window containing this request's completion time.
+    {
+        const sim::SimTime now = ctx.now();
+        auto &stats = ctx.stats();
+        stats.observeWindowed("win.boot_ms.tier." + record.tierServed,
+                              now, record.bootLatency.toMs());
+        stats.observeWindowed("win.boot_ms.fn." + function_name, now,
+                              record.bootLatency.toMs());
+        stats.observeWindowed("win.e2e_ms", now,
+                              record.endToEnd().toMs());
+    }
+    current_trace_ = 0;
     // Background maintenance after the request is served: the offline
     // zygote builder keeps the pool at its target size.
     runtime_.zygotes().replenish();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "catalyzer/runtime.h"
+#include "obs/flight_recorder.h"
 #include "remote/template_registry.h"
 #include "sandbox/pipelines.h"
 
@@ -94,10 +95,15 @@ class ServerlessPlatform
     void prepare(const apps::AppProfile &app);
 
     /**
-     * Handle one request end to end. With an enabled @p trace, the
-     * request is an "invoke/<function>" span with "gateway", the boot
-     * span tree and "execute" as children, and the end-to-end latency
-     * is observed into the "invoke.latency" histogram either way.
+     * Handle one request end to end: an "invoke/<function>" span with
+     * "gateway", the boot span tree and "execute" as children, and the
+     * end-to-end latency observed into the "invoke.latency" histogram.
+     * With a disabled @p trace the request self-traces into the
+     * machine's always-on ring tracer under a fresh distributed trace
+     * id (that is what the flight recorder replays after an incident);
+     * an enabled @p trace is used as-is, inheriting or allocating its
+     * trace id. Boot and end-to-end latencies are also recorded into
+     * the windowed time series (win.boot_ms.*, win.e2e_ms).
      */
     InvocationRecord invoke(const std::string &function_name,
                             trace::TraceContext trace = {});
@@ -134,6 +140,19 @@ class ServerlessPlatform
     sandbox::FunctionRegistry &registry() { return registry_; }
     sandbox::Machine &machine() { return machine_; }
     const PlatformConfig &config() const { return config_; }
+
+    /**
+     * This machine's black-box flight recorder. Always armed: every
+     * injected fault and every tier fallback captures an incident
+     * (trigger site, trace id, counter deltas, recent span-ring tail).
+     * Dumping to disk needs a directory — setDumpDirectory() or the
+     * CATALYZER_FLIGHT_DIR environment variable.
+     */
+    obs::FlightRecorder &flightRecorder() { return recorder_; }
+    const obs::FlightRecorder &flightRecorder() const
+    {
+        return recorder_;
+    }
 
     /**
      * Join a cluster's remote-fork control plane: the fabric, the
@@ -182,6 +201,9 @@ class ServerlessPlatform
     PlatformConfig config_;
     sandbox::FunctionRegistry registry_;
     core::CatalyzerRuntime runtime_;
+    obs::FlightRecorder recorder_;
+    /** Trace id of the request currently in invoke() (0 outside). */
+    trace::TraceId current_trace_ = 0;
     std::map<std::string, std::deque<IdleEntry>> idle_;
     std::map<std::string,
              std::vector<std::unique_ptr<sandbox::SandboxInstance>>>

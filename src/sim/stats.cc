@@ -6,6 +6,7 @@
 #include <numeric>
 #include <ostream>
 
+#include "sim/json.h"
 #include "sim/logging.h"
 
 namespace catalyzer::sim {
@@ -55,25 +56,36 @@ StatRegistry::findHistogram(const std::string &name) const
 }
 
 void
+StatRegistry::observeWindowed(const std::string &name, SimTime now,
+                              double value)
+{
+    windowed(name).record(now, value);
+}
+
+WindowedHistogram &
+StatRegistry::windowed(const std::string &name)
+{
+    auto it = windowed_.find(name);
+    if (it == windowed_.end())
+        it = windowed_.emplace(name, WindowedHistogram(window_length_))
+                 .first;
+    return it->second;
+}
+
+const WindowedHistogram *
+StatRegistry::findWindowed(const std::string &name) const
+{
+    auto it = windowed_.find(name);
+    return it == windowed_.end() ? nullptr : &it->second;
+}
+
+void
 StatRegistry::clear()
 {
     counters_.clear();
     series_.clear();
+    windowed_.clear();
 }
-
-namespace {
-
-/** One JSON number; NaN/inf become null (JSON has no non-finite). */
-void
-writeJsonNumber(std::ostream &os, double v)
-{
-    if (std::isfinite(v))
-        os << v;
-    else
-        os << "null";
-}
-
-} // namespace
 
 void
 StatRegistry::writeJson(std::ostream &os) const
@@ -81,14 +93,14 @@ StatRegistry::writeJson(std::ostream &os) const
     os << "{\n  \"counters\": {";
     bool first = true;
     for (const auto &[name, value] : counters_) {
-        os << (first ? "\n" : ",\n") << "    \"" << name
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
            << "\": " << value;
         first = false;
     }
     os << "\n  },\n  \"histograms\": {";
     first = true;
     for (const auto &[name, series] : series_) {
-        os << (first ? "\n" : ",\n") << "    \"" << name
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
            << "\": {\"unit\": \"ms\", \"count\": " << series.count();
         const struct
         {
@@ -108,6 +120,143 @@ StatRegistry::writeJson(std::ostream &os) const
         first = false;
     }
     os << "\n  }\n}\n";
+}
+
+void
+StatRegistry::writeTimeSeriesJson(std::ostream &os) const
+{
+    os << "{\n  \"default_window_ms\": ";
+    writeJsonNumber(os, window_length_.toMs());
+    os << ",\n  \"series\": {";
+    bool first = true;
+    for (const auto &[name, hist] : windowed_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"window_ms\": ";
+        writeJsonNumber(os, hist.windowLength().toMs());
+        os << ", \"windows\": [";
+        bool wfirst = true;
+        for (const auto &w : hist.windows()) {
+            os << (wfirst ? "\n" : ",\n") << "      {\"index\": "
+               << w.index << ", \"start_ms\": ";
+            writeJsonNumber(os, hist.windowStart(w.index).toMs());
+            os << ", \"count\": " << w.series.count() << ", \"sum\": ";
+            writeJsonNumber(os, w.sum);
+            const struct
+            {
+                const char *key;
+                double value;
+            } stats[] = {
+                {"mean", w.series.mean()},
+                {"p50", w.series.percentile(50)},
+                {"p99", w.series.percentile(99)},
+                {"p999", w.series.percentile(99.9)},
+                {"max", w.series.max()},
+            };
+            for (const auto &s : stats) {
+                os << ", \"" << s.key << "\": ";
+                writeJsonNumber(os, s.value);
+            }
+            os << "}";
+            wfirst = false;
+        }
+        os << "\n    ]}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+void
+WindowedHistogram::record(SimTime now, double value)
+{
+    const std::int64_t index = indexFor(now);
+    // The common case appends to the latest window (single-machine
+    // virtual time never goes backwards).
+    if (windows_.empty() || windows_.back().index < index) {
+        windows_.push_back(Window{index, {}, 0.0});
+    } else if (windows_.back().index != index) {
+        // Out-of-order timestamp (merged fleets replaying): find or
+        // insert the window, keeping lazy sorting honest.
+        Window *hit = nullptr;
+        for (auto &w : windows_) {
+            if (w.index == index) {
+                hit = &w;
+                break;
+            }
+        }
+        if (hit == nullptr) {
+            windows_.push_back(Window{index, {}, 0.0});
+            sorted_valid_ = false;
+        } else {
+            hit->series.addMs(value);
+            hit->sum += value;
+            ++total_count_;
+            return;
+        }
+    }
+    windows_.back().series.addMs(value);
+    windows_.back().sum += value;
+    ++total_count_;
+}
+
+const std::vector<WindowedHistogram::Window> &
+WindowedHistogram::windows() const
+{
+    if (!sorted_valid_) {
+        std::sort(windows_.begin(), windows_.end(),
+                  [](const Window &a, const Window &b) {
+                      return a.index < b.index;
+                  });
+        sorted_valid_ = true;
+    }
+    return windows_;
+}
+
+void
+WindowedHistogram::merge(const WindowedHistogram &other)
+{
+    if (empty() && total_count_ == 0)
+        window_length_ = other.window_length_;
+    if (window_length_ != other.window_length_)
+        panic("WindowedHistogram::merge: window lengths differ "
+              "(%.3f ms vs %.3f ms)",
+              window_length_.toMs(), other.window_length_.toMs());
+    for (const auto &w : other.windows()) {
+        Window *hit = nullptr;
+        for (auto &mine : windows_) {
+            if (mine.index == w.index) {
+                hit = &mine;
+                break;
+            }
+        }
+        if (hit == nullptr) {
+            windows_.push_back(Window{w.index, {}, 0.0});
+            hit = &windows_.back();
+            sorted_valid_ = false;
+        }
+        for (double v : w.series.raw()) {
+            hit->series.addMs(v);
+            hit->sum += v;
+            ++total_count_;
+        }
+    }
+    // Re-establish order for deterministic exports.
+    (void)windows();
+}
+
+void
+WindowedHistogram::clear()
+{
+    windows_.clear();
+    sorted_valid_ = true;
+    total_count_ = 0;
+}
+
+std::int64_t
+WindowedHistogram::indexFor(SimTime now) const
+{
+    if (window_length_.toNs() <= 0)
+        panic("WindowedHistogram: non-positive window length");
+    return now.toNs() / window_length_.toNs();
 }
 
 StatRegistry &

@@ -91,6 +91,68 @@ class LatencySeries
 };
 
 /**
+ * Fixed-window time series over virtual time: samples land in the
+ * window containing their timestamp (window i covers
+ * [i*length, (i+1)*length)), each window backed by a LatencySeries so
+ * per-window percentiles (the p99-over-time an SLO burn-rate needs) are
+ * one call away. Windows are kept sparse and in first-touch order —
+ * virtual clocks only move forward, so first-touch order is time order
+ * for any single machine, and merge() re-sorts when fleets interleave.
+ */
+class WindowedHistogram
+{
+  public:
+    explicit WindowedHistogram(SimTime window_length =
+                                   SimTime::milliseconds(250.0))
+        : window_length_(window_length)
+    {}
+
+    /** One window's samples. */
+    struct Window
+    {
+        /** Window index: start time = index * windowLength(). */
+        std::int64_t index = 0;
+        LatencySeries series;
+        double sum = 0.0;
+    };
+
+    /** Record @p value (unit chosen by the caller) at virtual @p now. */
+    void record(SimTime now, double value);
+
+    SimTime windowLength() const { return window_length_; }
+
+    /** Start of window @p index on the virtual clock. */
+    SimTime
+    windowStart(std::int64_t index) const
+    {
+        return SimTime::nanoseconds(index * window_length_.toNs());
+    }
+
+    /** Windows that received at least one sample, in time order. */
+    const std::vector<Window> &windows() const;
+
+    std::size_t totalCount() const { return total_count_; }
+    bool empty() const { return windows_.empty(); }
+
+    /**
+     * Fold @p other into this series (fleet aggregation). Window
+     * lengths must match; an empty destination adopts the source's.
+     */
+    void merge(const WindowedHistogram &other);
+
+    void clear();
+
+  private:
+    std::int64_t indexFor(SimTime now) const;
+
+    SimTime window_length_;
+    /** Sparse, kept sorted by index lazily (see windows()). */
+    mutable std::vector<Window> windows_;
+    mutable bool sorted_valid_ = true;
+    std::size_t total_count_ = 0;
+};
+
+/**
  * Unified metrics registry: named monotonically increasing counters
  * (page faults, syscalls redone, objects deserialized, ...) plus named
  * histogram metrics backed by LatencySeries (boot latency per system,
@@ -120,6 +182,33 @@ class StatRegistry
     /** Look up a histogram; nullptr if never observed. */
     const LatencySeries *findHistogram(const std::string &name) const;
 
+    /**
+     * Record one sample into the fixed-window time series @p name at
+     * virtual @p now (creating the series with the registry's current
+     * default window length). Windowed series are a separate namespace
+     * from the lifetime histograms: writeJson() never includes them, so
+     * turning time-series collection on cannot change an existing
+     * metrics snapshot byte for byte.
+     */
+    void observeWindowed(const std::string &name, SimTime now,
+                         double value);
+
+    /** Get-or-create windowed series @p name. */
+    WindowedHistogram &windowed(const std::string &name);
+
+    /** Look up a windowed series; nullptr if never observed. */
+    const WindowedHistogram *findWindowed(const std::string &name) const;
+
+    /** All windowed series, sorted by name. */
+    const std::map<std::string, WindowedHistogram> &windowedSeries() const
+    {
+        return windowed_;
+    }
+
+    /** Window length used for windowed series created after this call. */
+    void setWindowLength(SimTime length) { window_length_ = length; }
+    SimTime windowLength() const { return window_length_; }
+
     /** Reset every counter and histogram. */
     void clear();
 
@@ -143,12 +232,22 @@ class StatRegistry
      */
     void writeJson(std::ostream &os) const;
 
+    /**
+     * JSON export of the windowed time series: {"default_window_ms": W,
+     * "series": {name: {"window_ms": W, "windows": [{"index", "start_ms",
+     * "count", "sum", "mean", "p50", "p99", "p999", "max"}, ...]}, ...}}.
+     * Windows are in time order; empty windows are omitted (sparse).
+     */
+    void writeTimeSeriesJson(std::ostream &os) const;
+
     /** The process-wide registry. */
     static StatRegistry &global();
 
   private:
     std::map<std::string, std::int64_t> counters_;
     std::map<std::string, LatencySeries> series_;
+    std::map<std::string, WindowedHistogram> windowed_;
+    SimTime window_length_ = SimTime::milliseconds(250.0);
 };
 
 } // namespace catalyzer::sim

@@ -38,7 +38,8 @@ ImageStore::fabric()
 }
 
 void
-ImageStore::transferImage(const std::string &k, const FuncImage &image)
+ImageStore::transferImage(const std::string &k, const FuncImage &image,
+                          trace::TraceContext trace)
 {
     net::Fabric &net = fabric();
     const std::size_t bytes = mem::bytesForPages(image.totalPages());
@@ -46,7 +47,7 @@ ImageStore::transferImage(const std::string &k, const FuncImage &image)
         // Flat-compat: one whole-image transfer, identical to the old
         // chargeCounted(networkFetchPerMiB * mib) charge.
         net.transfer(ctx_, net::kOriginStorage, self_, bytes,
-                     "func-image");
+                     "func-image", trace);
         return;
     }
 
@@ -85,14 +86,15 @@ ImageStore::transferImage(const std::string &k, const FuncImage &image)
             ctx_.stats().incr("net.link_reroutes");
             source = net::kOriginStorage;
         }
-        net.transfer(ctx_, source, self_, n, "image-chunk");
+        net.transfer(ctx_, source, self_, n, "image-chunk", trace);
     }
     if (replicas_ != nullptr)
         replicas_->addReplica(k, self_);
 }
 
 std::shared_ptr<FuncImage>
-ImageStore::fetch(const std::string &function_name, ImageFormat format)
+ImageStore::fetch(const std::string &function_name, ImageFormat format,
+                  trace::TraceContext trace)
 {
     const std::string k = key(function_name, format);
     auto lit = local_.find(k);
@@ -112,7 +114,7 @@ ImageStore::fetch(const std::string &function_name, ImageFormat format)
         return nullptr;
     }
     // Remote fetch over the fabric, then validate the manifest.
-    transferImage(k, *rit->second);
+    transferImage(k, *rit->second, trace);
     ctx_.stats().incr("snapshot.image_remote_fetches");
     ctx_.charge(ctx_.costs().imageManifestParse);
     local_[k] = rit->second;

@@ -46,10 +46,13 @@ class ImageStore
      * validation; subsequent fetches are local. Returns nullptr if no
      * image was ever published, or when the injector fails the remote
      * transfer (the attempt still burns the retry policy's per-attempt
-     * timeout; use publishedRemotely() to tell the two apart).
+     * timeout; use publishedRemotely() to tell the two apart). With an
+     * enabled @p trace, the fabric transfers of a remote fetch join the
+     * caller's distributed trace (P2P chunk streams included).
      */
     std::shared_ptr<FuncImage> fetch(const std::string &function_name,
-                                     ImageFormat format);
+                                     ImageFormat format,
+                                     trace::TraceContext trace = {});
 
     /** True if @p function_name was ever published in @p format. */
     bool publishedRemotely(const std::string &function_name,
@@ -120,7 +123,8 @@ class ImageStore
     net::Fabric &fabric();
 
     /** Transfer one image's bytes, chunked when the fabric is modeled. */
-    void transferImage(const std::string &k, const FuncImage &image);
+    void transferImage(const std::string &k, const FuncImage &image,
+                       trace::TraceContext trace);
 
     sim::SimContext &ctx_;
     faults::FaultInjector *injector_ = nullptr;

@@ -1,45 +1,37 @@
 #include "trace/export.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <map>
 #include <ostream>
+#include <set>
+
+#include "sim/json.h"
 
 namespace catalyzer::trace {
 
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (unsigned char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\b': out += "\\b"; break;
-          case '\f': out += "\\f"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    return out;
+    return sim::jsonEscape(s);
 }
 
 void
-exportChromeTrace(const Tracer &tracer, std::ostream &os)
+exportChromeTrace(const std::vector<Span> &spans, std::ostream &os)
 {
-    const std::vector<Span> spans = tracer.snapshot();
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
+    // One labelled process lane per machine that recorded spans, so the
+    // viewer shows "machine N" rows instead of anonymous pids.
+    std::set<std::uint32_t> machines;
+    for (const Span &span : spans)
+        machines.insert(span.machine);
+    for (std::uint32_t machine : machines) {
+        os << (first ? "\n" : ",\n")
+           << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << machine
+           << ",\"tid\":0,\"args\":{\"name\":\"machine " << machine
+           << "\"}}";
+        first = false;
+    }
     for (const Span &span : spans) {
         if (!first)
             os << ",";
@@ -47,10 +39,12 @@ exportChromeTrace(const Tracer &tracer, std::ostream &os)
         const double ts = span.start.toUs();
         const double dur = span.finished ? span.duration().toUs() : 0.0;
         os << "\n{\"name\":\"" << jsonEscape(span.name)
-           << "\",\"cat\":\"boot\",\"ph\":\"X\",\"pid\":1,\"tid\":1"
-           << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"args\":{";
+           << "\",\"cat\":\"boot\",\"ph\":\"X\",\"pid\":" << span.machine
+           << ",\"tid\":" << span.traceId << ",\"ts\":" << ts
+           << ",\"dur\":" << dur << ",\"args\":{";
         os << "\"span_id\":\"" << span.id << "\",\"parent_id\":\""
-           << span.parent << "\"";
+           << span.parent << "\",\"trace_id\":\"" << span.traceId
+           << "\"";
         if (!span.finished)
             os << ",\"unfinished\":\"true\"";
         for (const auto &[key, value] : span.attributes)
@@ -59,6 +53,12 @@ exportChromeTrace(const Tracer &tracer, std::ostream &os)
         os << "}}";
     }
     os << "\n]}\n";
+}
+
+void
+exportChromeTrace(const Tracer &tracer, std::ostream &os)
+{
+    exportChromeTrace(tracer.snapshot(), os);
 }
 
 namespace {

@@ -9,22 +9,34 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/trace.h"
 
 namespace catalyzer::trace {
 
-/** JSON-escape @p s for use inside a double-quoted string literal. */
+/** JSON-escape @p s for use inside a double-quoted string literal.
+ *  (Alias of sim::jsonEscape, kept for existing callers.) */
 std::string jsonEscape(const std::string &s);
 
 /**
  * Write the tracer's spans as a Chrome trace_event JSON object
  * ({"traceEvents": [...]}): one "ph":"X" complete event per finished
  * span with ts/dur in virtual microseconds and attributes under "args".
- * Unfinished spans are exported with zero duration and an
- * "unfinished":"true" arg so they remain visible.
+ * Each event's pid is the span's machine id and its tid is the span's
+ * distributed trace id (one request = one lane), so cross-machine spans
+ * line up instead of collapsing onto a hardcoded pid 1 / tid 1; a
+ * "process_name" metadata event labels each machine lane. Unfinished
+ * spans are exported with zero duration and an "unfinished":"true" arg
+ * so they remain visible.
  */
 void exportChromeTrace(const Tracer &tracer, std::ostream &os);
+
+/**
+ * Same format for an already-merged span list (the fleet exporter in
+ * src/obs/ concatenates per-machine snapshots and calls this).
+ */
+void exportChromeTrace(const std::vector<Span> &spans, std::ostream &os);
 
 /**
  * Write the span forest as an indented text tree (children ordered by

@@ -1,18 +1,36 @@
 #include "trace/trace.h"
 
+#include <algorithm>
+#include <atomic>
+
 namespace catalyzer::trace {
 
+TraceId
+nextTraceId()
+{
+    // Process-wide so trace ids are unique across every machine in a
+    // simulated cluster; single-threaded workloads see a deterministic
+    // 1, 2, 3, ... sequence.
+    static std::atomic<TraceId> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 SpanId
-Tracer::begin(std::string name, sim::SimTime start, SpanId parent)
+Tracer::begin(std::string name, sim::SimTime start, SpanId parent,
+              TraceId trace_id)
 {
     std::lock_guard<std::mutex> lock(mu_);
     Span span;
     span.id = next_id_++;
     span.parent = parent;
+    span.traceId = trace_id;
+    span.machine = machine_;
     span.name = std::move(name);
     span.start = start;
     spans_.push_back(std::move(span));
-    return spans_.back().id;
+    const SpanId id = spans_.back().id;
+    enforceCapacityLocked();
+    return id;
 }
 
 void
@@ -46,7 +64,16 @@ std::vector<Span>
 Tracer::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return spans_;
+    return {spans_.begin(), spans_.end()};
+}
+
+std::vector<Span>
+Tracer::recent(std::size_t n) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t take = std::min(n, spans_.size());
+    return {spans_.end() - static_cast<std::ptrdiff_t>(take),
+            spans_.end()};
 }
 
 std::size_t
@@ -63,6 +90,53 @@ Tracer::clear()
     spans_.clear();
 }
 
+void
+Tracer::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+    enforceCapacityLocked();
+}
+
+std::size_t
+Tracer::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+}
+
+std::uint64_t
+Tracer::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void
+Tracer::setMachine(std::uint32_t machine)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    machine_ = machine;
+}
+
+std::uint32_t
+Tracer::machine() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return machine_;
+}
+
+void
+Tracer::enforceCapacityLocked()
+{
+    if (capacity_ == 0)
+        return;
+    while (spans_.size() > capacity_) {
+        spans_.pop_front();
+        ++dropped_;
+    }
+}
+
 SpanId
 TraceContext::completedSpan(const std::string &name,
                             sim::SimTime duration) const
@@ -70,16 +144,22 @@ TraceContext::completedSpan(const std::string &name,
     if (!enabled())
         return 0;
     const sim::SimTime stop = now();
-    const SpanId id = tracer_->begin(name, stop - duration, parent_);
+    const SpanId id =
+        tracer_->begin(name, stop - duration, parent_, trace_id_);
     tracer_->end(id, stop);
     return id;
 }
 
 ScopedSpan::ScopedSpan(TraceContext ctx, std::string name) : ctx_(ctx)
 {
-    if (ctx_.enabled())
-        id_ = ctx_.tracer()->begin(std::move(name), ctx_.now(),
-                                   ctx_.parent());
+    if (!ctx_.enabled())
+        return;
+    // A root span of a not-yet-stitched context starts a new
+    // distributed trace; children inherit the id through context().
+    if (ctx_.traceId() == 0)
+        ctx_ = ctx_.withTrace(nextTraceId());
+    id_ = ctx_.tracer()->begin(std::move(name), ctx_.now(), ctx_.parent(),
+                               ctx_.traceId());
 }
 
 ScopedSpan::~ScopedSpan()

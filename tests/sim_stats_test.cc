@@ -144,6 +144,113 @@ TEST(StatRegistryTest, WriteJsonShape)
     EXPECT_EQ(out.find("nan"), std::string::npos);
 }
 
+TEST(StatRegistryTest, WriteJsonEscapesNames)
+{
+    // Regression: metric names flow from function names and fault-site
+    // labels; a quote or backslash in one must not corrupt the JSON.
+    StatRegistry stats;
+    stats.incr("boots\"evil", 1);
+    stats.observeMs("lat\\slash\nline", 2.0);
+    std::ostringstream os;
+    stats.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"boots\\\"evil\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"lat\\\\slash\\nline\""), std::string::npos);
+    // No raw quote survives inside a name.
+    EXPECT_EQ(out.find("boots\"evil"), std::string::npos);
+}
+
+TEST(WindowedHistogramTest, BucketsByVirtualTime)
+{
+    WindowedHistogram h(SimTime::milliseconds(100.0));
+    h.record(SimTime::milliseconds(10.0), 1.0);  // window 0
+    h.record(SimTime::milliseconds(99.0), 3.0);  // window 0
+    h.record(SimTime::milliseconds(100.0), 5.0); // window 1
+    h.record(SimTime::milliseconds(350.0), 7.0); // window 3 (gap at 2)
+    EXPECT_EQ(h.totalCount(), 4u);
+    const auto &ws = h.windows();
+    ASSERT_EQ(ws.size(), 3u); // sparse: empty window 2 absent
+    EXPECT_EQ(ws[0].index, 0);
+    EXPECT_EQ(ws[0].series.count(), 2u);
+    EXPECT_DOUBLE_EQ(ws[0].sum, 4.0);
+    EXPECT_EQ(ws[1].index, 1);
+    EXPECT_EQ(ws[2].index, 3);
+    EXPECT_EQ(h.windowStart(3), SimTime::milliseconds(300.0));
+}
+
+TEST(WindowedHistogramTest, OutOfOrderRecordsLandInTheirWindow)
+{
+    WindowedHistogram h(SimTime::milliseconds(100.0));
+    h.record(SimTime::milliseconds(250.0), 9.0); // window 2 first
+    h.record(SimTime::milliseconds(50.0), 1.0);  // then window 0
+    const auto &ws = h.windows();
+    ASSERT_EQ(ws.size(), 2u);
+    EXPECT_EQ(ws[0].index, 0); // windows() is sorted by index
+    EXPECT_EQ(ws[1].index, 2);
+    EXPECT_DOUBLE_EQ(ws[0].series.max(), 1.0);
+}
+
+TEST(WindowedHistogramTest, MergeFoldsPerWindow)
+{
+    WindowedHistogram a(SimTime::milliseconds(100.0));
+    WindowedHistogram b(SimTime::milliseconds(100.0));
+    a.record(SimTime::milliseconds(10.0), 1.0);
+    b.record(SimTime::milliseconds(20.0), 3.0);  // same window 0
+    b.record(SimTime::milliseconds(150.0), 5.0); // window 1
+    a.merge(b);
+    EXPECT_EQ(a.totalCount(), 3u);
+    const auto &ws = a.windows();
+    ASSERT_EQ(ws.size(), 2u);
+    EXPECT_EQ(ws[0].series.count(), 2u);
+    EXPECT_DOUBLE_EQ(ws[0].sum, 4.0);
+    EXPECT_EQ(ws[1].series.count(), 1u);
+
+    // An empty histogram adopts the source's window length on merge.
+    WindowedHistogram fresh(SimTime::milliseconds(250.0));
+    fresh.merge(a);
+    EXPECT_EQ(fresh.windowLength(), SimTime::milliseconds(100.0));
+    EXPECT_EQ(fresh.totalCount(), 3u);
+
+    // A populated one with a different length refuses.
+    WindowedHistogram clash(SimTime::milliseconds(250.0));
+    clash.record(SimTime::milliseconds(1.0), 1.0);
+    EXPECT_DEATH(clash.merge(a), "window length");
+}
+
+TEST(StatRegistryTest, WindowedSeriesAndTimeSeriesJson)
+{
+    StatRegistry stats;
+    stats.setWindowLength(SimTime::milliseconds(50.0));
+    EXPECT_EQ(stats.findWindowed("w"), nullptr);
+    stats.observeWindowed("w", SimTime::milliseconds(10.0), 2.0);
+    stats.observeWindowed("w", SimTime::milliseconds(60.0), 4.0);
+    stats.observeWindowed("quote\"w", SimTime::zero(), 1.0);
+    const WindowedHistogram *w = stats.findWindowed("w");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->windowLength(), SimTime::milliseconds(50.0));
+    EXPECT_EQ(w->totalCount(), 2u);
+
+    // writeJson stays windowed-free: the legacy metrics JSON is
+    // byte-identical whether or not windowed series exist.
+    std::ostringstream legacy;
+    stats.writeJson(legacy);
+    EXPECT_EQ(legacy.str().find("\"w\""), std::string::npos);
+
+    std::ostringstream os;
+    stats.writeTimeSeriesJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"default_window_ms\": 50"), std::string::npos);
+    EXPECT_NE(out.find("\"series\""), std::string::npos);
+    EXPECT_NE(out.find("\"window_ms\""), std::string::npos);
+    EXPECT_NE(out.find("\"start_ms\": 50"), std::string::npos);
+    EXPECT_NE(out.find("\"p99\""), std::string::npos);
+    EXPECT_NE(out.find("\"quote\\\"w\""), std::string::npos);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+
+    stats.clear();
+    EXPECT_EQ(stats.findWindowed("w"), nullptr);
+}
+
 TEST(LatencySeriesTest, Cdf)
 {
     LatencySeries s;

@@ -371,11 +371,21 @@ TEST(ChromeExportTest, EscapesAttributesAndRoundTrips)
     // And the whole document must parse back.
     MiniJson::Value doc;
     ASSERT_TRUE(MiniJson::parse(json, &doc));
-    const MiniJson::Value *events = doc.find("traceEvents");
-    ASSERT_NE(events, nullptr);
-    ASSERT_EQ(events->array.size(), 2u);
+    const MiniJson::Value *all = doc.find("traceEvents");
+    ASSERT_NE(all, nullptr);
 
-    const MiniJson::Value &ev = events->array[0];
+    // One process_name metadata event for the (single) machine lane,
+    // then the real "X" events.
+    std::vector<const MiniJson::Value *> meta, xs;
+    for (const MiniJson::Value &e : all->array) {
+        (e.find("ph")->string == "M" ? meta : xs).push_back(&e);
+    }
+    ASSERT_EQ(meta.size(), 1u);
+    EXPECT_EQ(meta[0]->find("name")->string, "process_name");
+    EXPECT_DOUBLE_EQ(meta[0]->find("pid")->number, 0.0);
+    ASSERT_EQ(xs.size(), 2u);
+
+    const MiniJson::Value &ev = *xs[0];
     EXPECT_EQ(ev.find("name")->string, "na\"me\\with\nnasties");
     EXPECT_EQ(ev.find("ph")->string, "X");
     EXPECT_DOUBLE_EQ(ev.find("dur")->number, 1000.0); // µs
@@ -385,9 +395,158 @@ TEST(ChromeExportTest, EscapesAttributesAndRoundTrips)
               "va\\lue\twith\x01"
               "ctrl");
 
-    const MiniJson::Value &open = events->array[1];
+    const MiniJson::Value &open = *xs[1];
     EXPECT_EQ(open.find("name")->string, "unfinished");
     EXPECT_EQ(open.find("args")->find("unfinished")->string, "true");
+}
+
+TEST(ChromeExportTest, PidIsMachineAndTidIsTraceId)
+{
+    Tracer a, b;
+    a.setMachine(3);
+    b.setMachine(7);
+    sim::VirtualClock clock;
+    const TraceId tid = nextTraceId();
+    a.begin("borrow", clock.now(), 0, tid);
+    b.begin("lend", clock.now(), 0, tid);
+
+    std::vector<Span> spans = a.snapshot();
+    const std::vector<Span> lent = b.snapshot();
+    spans.insert(spans.end(), lent.begin(), lent.end());
+
+    std::ostringstream os;
+    exportChromeTrace(spans, os);
+    MiniJson::Value doc;
+    ASSERT_TRUE(MiniJson::parse(os.str(), &doc));
+    const MiniJson::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    std::size_t meta = 0, xs = 0;
+    for (const MiniJson::Value &e : events->array) {
+        if (e.find("ph")->string == "M") {
+            ++meta;
+            continue;
+        }
+        ++xs;
+        // Same trace id lane in two distinct machine lanes.
+        EXPECT_DOUBLE_EQ(e.find("tid")->number,
+                         static_cast<double>(tid));
+        const double pid = e.find("pid")->number;
+        EXPECT_TRUE(pid == 3.0 || pid == 7.0);
+        EXPECT_EQ(e.find("args")->find("trace_id")->string,
+                  std::to_string(tid));
+    }
+    EXPECT_EQ(meta, 2u); // one process_name per machine
+    EXPECT_EQ(xs, 2u);
+}
+
+TEST(TracerTest, CapacityRingEvictsOldestFirst)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    tracer.setCapacity(3);
+    for (int i = 0; i < 5; ++i) {
+        tracer.begin("s" + std::to_string(i), clock.now());
+        clock.advance(1_ms);
+    }
+    EXPECT_EQ(tracer.spanCount(), 3u);
+    EXPECT_EQ(tracer.droppedCount(), 2u);
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].name, "s2");
+    EXPECT_EQ(spans[1].name, "s3");
+    EXPECT_EQ(spans[2].name, "s4");
+    // Ending an evicted span is a harmless no-op.
+    tracer.end(1, clock.now());
+
+    // Shrinking an over-full buffer evicts immediately.
+    tracer.setCapacity(1);
+    EXPECT_EQ(tracer.spanCount(), 1u);
+    EXPECT_EQ(tracer.droppedCount(), 4u);
+    EXPECT_EQ(tracer.snapshot()[0].name, "s4");
+}
+
+TEST(TracerTest, SpanCountAndRecentUnderWraparound)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    tracer.setCapacity(4);
+    for (int i = 0; i < 10; ++i)
+        tracer.begin("s" + std::to_string(i), clock.now());
+    EXPECT_EQ(tracer.spanCount(), 4u);
+    const auto tail = tracer.recent(2);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].name, "s8");
+    EXPECT_EQ(tail[1].name, "s9");
+    // Asking for more than buffered returns everything.
+    EXPECT_EQ(tracer.recent(100).size(), 4u);
+}
+
+TEST(TracerTest, IdsStayMonotonicAcrossClearAndEviction)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    tracer.setCapacity(2);
+    SpanId last = 0;
+    for (int i = 0; i < 6; ++i) {
+        const SpanId id = tracer.begin("s", clock.now());
+        EXPECT_GT(id, last);
+        last = id;
+    }
+    tracer.clear();
+    EXPECT_EQ(tracer.spanCount(), 0u);
+    const SpanId after = tracer.begin("post-clear", clock.now());
+    EXPECT_GT(after, last); // ids never restart
+}
+
+TEST(TraceIdTest, RootSpanAllocatesAndChildrenInherit)
+{
+    Tracer tracer;
+    sim::VirtualClock clock;
+    TraceContext root(tracer, clock);
+    EXPECT_EQ(root.traceId(), 0u);
+    {
+        ScopedSpan outer(root, "outer");
+        const TraceId id = outer.context().traceId();
+        EXPECT_NE(id, 0u);
+        ScopedSpan inner(outer.context(), "inner");
+        EXPECT_EQ(inner.context().traceId(), id);
+    }
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_NE(spans[0].traceId, 0u);
+    EXPECT_EQ(spans[0].traceId, spans[1].traceId);
+
+    // A second root span starts a distinct trace.
+    ScopedSpan other(root, "other-request");
+    EXPECT_NE(other.context().traceId(), spans[0].traceId);
+}
+
+TEST(TraceIdTest, WithTracerRehomesTraceAcrossMachines)
+{
+    Tracer borrower, lender;
+    borrower.setMachine(1);
+    lender.setMachine(2);
+    sim::VirtualClock bclock, lclock;
+    TraceContext root(borrower, bclock);
+
+    ScopedSpan boot(root, "boot/remote-sfork");
+    const TraceContext peer =
+        boot.context().withTracer(lender, lclock);
+    EXPECT_EQ(peer.tracer(), &lender);
+    EXPECT_EQ(peer.parent(), 0u); // span ids don't cross machines
+    EXPECT_EQ(peer.traceId(), boot.context().traceId());
+    ScopedSpan lend(peer, "lend-template");
+    boot.finish();
+    lend.finish();
+
+    const auto bs = borrower.snapshot();
+    const auto ls = lender.snapshot();
+    ASSERT_EQ(bs.size(), 1u);
+    ASSERT_EQ(ls.size(), 1u);
+    EXPECT_EQ(bs[0].traceId, ls[0].traceId);
+    EXPECT_EQ(bs[0].machine, 1u);
+    EXPECT_EQ(ls[0].machine, 2u);
 }
 
 TEST(TextExportTest, RendersHierarchy)

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Sanity-check the observability JSON artifacts.
+
+Stdlib-only validator for the three machine-readable exports the
+observability layer produces, run by CI right after the smoke benches:
+
+  timeseries=FILE  windowed time-series export
+                   (StatRegistry::writeTimeSeriesJson)
+  slo=FILE         SLO evaluation report (obs::writeSloJson)
+  trace=FILE       Chrome trace_event document (exportChromeTrace /
+                   Cluster::exportFleetTrace)
+
+Usage: check_obs_schema.py kind=path [kind=path ...]
+
+Exits non-zero with a description of the first violation. The point is
+to catch malformed JSON (broken escaping, NaN leakage) and shape drift
+(renamed keys, wrong types) that substring-based unit tests can miss.
+"""
+
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(path, msg):
+    FAILURES.append(f"{path}: {msg}")
+
+
+def expect(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+    return cond
+
+
+def is_num(v):
+    # bool is an int subclass; a bool where a number belongs is drift.
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_window(path, name, w):
+    where = f"series {name!r} window {w.get('index')}"
+    for key in ("index", "start_ms", "count", "sum", "mean", "p50",
+                "p99", "p999", "max"):
+        if not expect(key in w, path, f"{where}: missing {key!r}"):
+            return
+        if not expect(is_num(w[key]) or w[key] is None, path,
+                      f"{where}: {key!r} is not a number"):
+            return
+    expect(isinstance(w["index"], int), path,
+           f"{where}: index is not an integer")
+    expect(isinstance(w["count"], int) and w["count"] >= 1, path,
+           f"{where}: count must be a positive integer (sparse "
+           "windows are omitted, not empty)")
+
+
+def check_timeseries(path, doc):
+    if not expect(isinstance(doc, dict), path, "root is not an object"):
+        return
+    expect(is_num(doc.get("default_window_ms"))
+           and doc["default_window_ms"] > 0, path,
+           "default_window_ms missing or not a positive number")
+    series = doc.get("series")
+    if not expect(isinstance(series, dict), path,
+                  "'series' missing or not an object"):
+        return
+    for name, s in series.items():
+        if not expect(isinstance(s, dict), path,
+                      f"series {name!r} is not an object"):
+            continue
+        if not expect(is_num(s.get("window_ms")) and s["window_ms"] > 0,
+                      path, f"series {name!r}: bad window_ms"):
+            continue
+        windows = s.get("windows")
+        if not expect(isinstance(windows, list), path,
+                      f"series {name!r}: 'windows' is not a list"):
+            continue
+        last_index = None
+        for w in windows:
+            if not expect(isinstance(w, dict), path,
+                          f"series {name!r}: window is not an object"):
+                continue
+            check_window(path, name, w)
+            idx = w.get("index")
+            if isinstance(idx, int):
+                if last_index is not None:
+                    expect(idx > last_index, path,
+                           f"series {name!r}: window indices not "
+                           f"strictly increasing at {idx}")
+                last_index = idx
+                start = w.get("start_ms")
+                if is_num(start):
+                    expect(abs(start - idx * s["window_ms"]) < 1e-6,
+                           path, f"series {name!r} window {idx}: "
+                           "start_ms != index * window_ms")
+
+
+def check_slo(path, doc):
+    if not expect(isinstance(doc, dict), path, "root is not an object"):
+        return
+    slos = doc.get("slos")
+    if not expect(isinstance(slos, list), path,
+                  "'slos' missing or not a list"):
+        return
+    for s in slos:
+        where = f"slo {s.get('metric')!r}"
+        for key, kind in (("metric", str), ("threshold_ms", float),
+                          ("objective", float), ("percentile", float),
+                          ("total_events", int), ("bad_events", int),
+                          ("attainment", float),
+                          ("objective_met", bool),
+                          ("worst_burn_rate", float),
+                          ("windows_met", int), ("windows", list)):
+            if not expect(key in s, path, f"{where}: missing {key!r}"):
+                continue
+            v = s[key]
+            ok = (is_num(v) if kind is float
+                  else isinstance(v, kind)
+                  and (kind is not int or not isinstance(v, bool)))
+            expect(ok, path, f"{where}: {key!r} has wrong type")
+        if isinstance(s.get("windows"), list):
+            for w in s["windows"]:
+                expect(isinstance(w.get("met"), bool), path,
+                       f"{where}: window missing boolean 'met'")
+                expect(is_num(w.get("burn_rate")), path,
+                       f"{where}: window missing numeric 'burn_rate'")
+
+
+def check_trace(path, doc):
+    if not expect(isinstance(doc, dict), path, "root is not an object"):
+        return
+    events = doc.get("traceEvents")
+    if not expect(isinstance(events, list), path,
+                  "'traceEvents' missing or not a list"):
+        return
+    machines = set()
+    for e in events:
+        if not expect(isinstance(e, dict), path,
+                      "event is not an object"):
+            continue
+        ph = e.get("ph")
+        expect(ph in ("X", "M"), path, f"unexpected phase {ph!r}")
+        expect(isinstance(e.get("name"), str), path,
+               "event without a string name")
+        expect(is_num(e.get("pid")), path, "event without numeric pid")
+        expect(is_num(e.get("tid")), path, "event without numeric tid")
+        if ph == "M":
+            machines.add(e["pid"])
+        elif ph == "X":
+            expect(is_num(e.get("ts")) and is_num(e.get("dur")), path,
+                   f"X event {e.get('name')!r} missing ts/dur")
+            expect(e.get("pid") in machines, path,
+                   f"X event {e.get('name')!r} in pid lane "
+                   f"{e.get('pid')} with no process_name metadata")
+
+
+CHECKS = {"timeseries": check_timeseries, "slo": check_slo,
+          "trace": check_trace}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for arg in argv[1:]:
+        kind, sep, path = arg.partition("=")
+        if not sep or kind not in CHECKS:
+            print(f"bad argument {arg!r} (want kind=path with kind in "
+                  f"{sorted(CHECKS)})", file=sys.stderr)
+            return 2
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            fail(path, f"unreadable or invalid JSON: {exc}")
+            continue
+        CHECKS[kind](path, doc)
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"SCHEMA VIOLATION {failure}", file=sys.stderr)
+        return 1
+    print(f"schema ok: {len(argv) - 1} artifact(s) validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
