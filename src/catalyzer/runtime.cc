@@ -1067,4 +1067,15 @@ CatalyzerRuntime::templateFor(const std::string &function_name)
     return it == templates_.end() ? nullptr : it->second.get();
 }
 
+std::size_t
+CatalyzerRuntime::templateMemoryBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &[name, tmpl] : templates_)
+        bytes += tmpl->rssBytes();
+    for (const auto &[lang, tmpl] : lang_templates_)
+        bytes += tmpl->rssBytes();
+    return bytes;
+}
+
 } // namespace catalyzer::core

@@ -192,6 +192,9 @@ class CatalyzerRuntime
     sandbox::SandboxInstance *
     templateFor(const std::string &function_name);
 
+    /** Resident memory of all templates (function + language). */
+    std::size_t templateMemoryBytes() const;
+
   private:
     sandbox::BootResult bootRestore(sandbox::FunctionArtifacts &fn,
                                     bool warm,

@@ -1,0 +1,165 @@
+#include "load/driver.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace catalyzer::load {
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+} // namespace
+
+FleetReport
+FleetDriver::run(const TrafficSpec &traffic, const FleetRunConfig &config)
+{
+    const std::vector<FleetArrival> stream =
+        generateFleetStream(population_, traffic);
+
+    FleetAutoscaler scaler(cluster_, population_, config.policy);
+    FleetReport report;
+    report.e2eMsWindows = sim::WindowedHistogram(config.tenantWindow);
+    report.bootMsWindows = sim::WindowedHistogram(config.tenantWindow);
+
+    // Deployment is control-plane work (image build, registry write);
+    // production fleets do it long before traffic, so charge it before
+    // the measured window opens: start[] is captured afterwards.
+    population_.deployTo(cluster_);
+
+    const std::size_t machines = cluster_.machineCount();
+
+    if (config.primeImages) {
+        for (std::size_t m = 0; m < machines; ++m) {
+            platform::ServerlessPlatform &plat = cluster_.platform(m);
+            for (std::size_t i = 0; i < population_.size(); ++i)
+                plat.invoke(population_.fn(i).name);
+            // Drop the priming instances: the run starts with built
+            // images but zero warm capacity under either policy.
+            plat.expireIdle(sim::SimTime::milliseconds(0.001));
+        }
+    }
+
+    std::vector<sim::SimTime> start(machines);
+    for (std::size_t m = 0; m < machines; ++m)
+        start[m] = cluster_.machine(m).ctx().clock().now();
+
+    // Machines may enter the run with different clock readings (deploys
+    // and template prep already charged); replay is relative, so machine
+    // m's image of virtual time t is start[m] + t. Clocks only move
+    // forward: a machine still serving a back-to-back burst simply lags
+    // the stream and queues, exactly like WorkloadDriver.
+    auto advanceMachineTo = [&](std::size_t m, double t) {
+        sim::VirtualClock &clock = cluster_.machine(m).ctx().clock();
+        const sim::SimTime target = start[m] + sim::SimTime::seconds(t);
+        if (clock.now() < target)
+            clock.advance(target - clock.now());
+    };
+
+    double resident_sum = 0.0;
+    std::size_t resident_samples = 0;
+    double last_sample_t = 0.0;
+
+    // Policy tick barrier: every machine reaches the boundary before
+    // the autoscaler looks at the fleet, so keep-alive ages, EWMA rates
+    // and memory pressure are computed against one consistent instant.
+    auto runTick = [&](double t_tick) {
+        for (std::size_t m = 0; m < machines; ++m)
+            advanceMachineTo(m, t_tick);
+        scaler.tick(sim::SimTime::seconds(t_tick));
+        const double mib =
+            static_cast<double>(scaler.fleetResidentBytes()) / kMiB;
+        report.residentMiBSeconds += mib * (t_tick - last_sample_t);
+        last_sample_t = t_tick;
+        resident_sum += mib;
+        ++resident_samples;
+        report.peakResidentMiB = std::max(report.peakResidentMiB, mib);
+    };
+
+    const double tick = config.policy.policyTick.toSec();
+    if (tick <= 0.0)
+        sim::fatal("FleetDriver: non-positive policy tick");
+    double next_tick = tick;
+
+    for (const FleetArrival &arrival : stream) {
+        while (next_tick <= arrival.atSec) {
+            runTick(next_tick);
+            next_tick += tick;
+        }
+
+        const FleetFunction &fn = population_.fn(arrival.fn);
+        const std::size_t target = cluster_.route(fn.name);
+        platform::ServerlessPlatform &plat = cluster_.platform(target);
+        // No-op after the upfront deploy; covers callers that drive a
+        // partially-deployed cluster.
+        population_.deployTo(plat, fn);
+        advanceMachineTo(target, arrival.atSec);
+
+        // If the machine's clock leads the arrival it was still busy
+        // with earlier requests when this one landed: the lead is the
+        // time the request waits in queue before service starts.
+        const sim::SimTime arrive =
+            start[target] + sim::SimTime::seconds(arrival.atSec);
+        const sim::SimTime now_on_target =
+            cluster_.machine(target).ctx().clock().now();
+        const sim::SimTime queued = now_on_target > arrive
+                                        ? now_on_target - arrive
+                                        : sim::SimTime::zero();
+
+        if (config.perArrivalExpiry &&
+            config.policy.keepAliveTtl > sim::SimTime::zero())
+            report.expired += plat.expireIdle(config.policy.keepAliveTtl);
+
+        scaler.observeArrival(arrival.fn, target);
+        const platform::ClusterInvocation done =
+            cluster_.invokeOn(target, fn.name);
+        scaler.afterInvoke(arrival.fn, target, done.record);
+
+        const sim::SimTime at = sim::SimTime::seconds(arrival.atSec);
+        ++report.requests;
+        if (done.record.reusedInstance) {
+            ++report.reuses;
+        } else {
+            ++report.boots;
+            report.boot.add(done.record.bootLatency);
+            report.bootMsWindows.record(at,
+                                        done.record.bootLatency.toMs());
+        }
+        ++report.tierCounts[done.record.tierServed];
+        const sim::SimTime sojourn = queued + done.record.endToEnd();
+        report.endToEnd.add(sojourn);
+        report.queueWait.add(queued);
+        report.e2eMsWindows.record(at, sojourn.toMs());
+        report.busySeconds += done.record.endToEnd().toSec();
+
+        const std::string tenant = Population::tenantName(fn.tenant);
+        auto [it, fresh] = report.tenantE2eMs.try_emplace(
+            tenant, sim::WindowedHistogram(config.tenantWindow));
+        (void)fresh;
+        it->second.record(at, sojourn.toMs());
+        ++report.tenantRequests[tenant];
+    }
+
+    // Drain the remaining policy ticks, then close the run at the
+    // nominal duration so cost integrals cover the full interval.
+    while (next_tick < traffic.durationSec - 1e-9) {
+        runTick(next_tick);
+        next_tick += tick;
+    }
+    runTick(traffic.durationSec);
+    scaler.finalize();
+
+    report.policy = scaler.counters();
+    report.expired += report.policy.keepAliveExpired;
+    report.avgResidentMiB =
+        resident_samples > 0
+            ? resident_sum / static_cast<double>(resident_samples)
+            : 0.0;
+    for (std::size_t m = 0; m < machines; ++m)
+        report.machineSeconds +=
+            (cluster_.machine(m).ctx().clock().now() - start[m]).toSec();
+    return report;
+}
+
+} // namespace catalyzer::load

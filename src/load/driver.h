@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fleet replay driver: runs a merged arrival stream against a Cluster
+ * on the virtual clock, with the autoscaler in the loop, and scores
+ * the run (latency series, per-tenant windows, policy counters, cost).
+ *
+ * Replay semantics extend WorkloadDriver's to a fleet: the scheduler
+ * routes each arrival first, then the *chosen machine's* clock idles
+ * forward to the arrival time if it leads the request (back-to-back
+ * service when it lags), and every machine advances through policy-tick
+ * barriers so windowed series and autoscaling decisions line up across
+ * the fleet.
+ */
+
+#ifndef CATALYZER_LOAD_DRIVER_H
+#define CATALYZER_LOAD_DRIVER_H
+
+#include <map>
+#include <string>
+
+#include "load/fleet_policy.h"
+#include "load/traffic.h"
+#include "sim/stats.h"
+
+namespace catalyzer::load {
+
+/** One fleet run's configuration. */
+struct FleetRunConfig
+{
+    FleetPolicyConfig policy;
+    /**
+     * Expire the routed machine's idle instances on every arrival (the
+     * WorkloadDriver convention) in addition to the policy tick, so
+     * keep-alive economics do not depend on the tick cadence.
+     */
+    bool perArrivalExpiry = true;
+    /**
+     * Before the measured window, run one throwaway invocation of every
+     * function on every machine and then drop all instances. First
+     * contact with a function otherwise pays one-time initialization on
+     * the request path — checkpointing the separated image, priming the
+     * shared base — which a long-running fleet did days ago; unprimed,
+     * that tax (~100 ms x functions x machines) swamps every scenario
+     * with synthetic overload. Instances are expired afterwards so both
+     * policy arms still start from zero warm capacity.
+     */
+    bool primeImages = true;
+    /** Window length for the driver's per-tenant series. */
+    sim::SimTime tenantWindow = sim::SimTime::milliseconds(250.0);
+};
+
+/** Aggregated results of one fleet run. */
+struct FleetReport
+{
+    std::size_t requests = 0;
+    std::size_t boots = 0;
+    std::size_t reuses = 0;
+    std::size_t expired = 0; ///< keep-alive reclaims (arrival + tick)
+    /**
+     * Arrival-to-completion latency: queue wait (the routed machine's
+     * clock leading the arrival — it was still serving earlier work)
+     * plus service (gateway + boot + exec). This is the latency a
+     * caller sees, and the series the SLO engine scores; a flash crowd
+     * hurts mostly through the queueing term.
+     */
+    sim::LatencySeries endToEnd;
+    /** The queueing component of endToEnd, separately. */
+    sim::LatencySeries queueWait;
+    sim::LatencySeries boot;
+    /** Fleet-wide windowed latency (ms) on run-relative virtual time —
+     *  what the SLO engine evaluates. Boot windows exclude reuse hits. */
+    sim::WindowedHistogram e2eMsWindows;
+    sim::WindowedHistogram bootMsWindows;
+    /** Requests per serving tier ("sfork", "warm", "reused", ...). */
+    std::map<std::string, std::size_t> tierCounts;
+    /** Per-tenant windowed end-to-end latency (ms), fleet-merged. */
+    std::map<std::string, sim::WindowedHistogram> tenantE2eMs;
+    /** Per-tenant request counts. */
+    std::map<std::string, std::size_t> tenantRequests;
+
+    FleetPolicyCounters policy;
+
+    //
+    // Cost. Machine-seconds count each machine's virtual clock advance
+    // over the run; busy-seconds are the part spent serving (boot +
+    // exec + gateway). Resident memory is sampled at every policy tick.
+    //
+    double machineSeconds = 0.0;
+    double busySeconds = 0.0;
+    double avgResidentMiB = 0.0;
+    double peakResidentMiB = 0.0;
+    /** Time integral of resident memory (MiB * s): the rent paid. */
+    double residentMiBSeconds = 0.0;
+};
+
+/** Replays fleet streams against a Cluster. */
+class FleetDriver
+{
+  public:
+    FleetDriver(platform::Cluster &cluster, const Population &population)
+        : cluster_(cluster), population_(population)
+    {}
+
+    /** Run @p traffic under @p config and report. */
+    FleetReport run(const TrafficSpec &traffic,
+                    const FleetRunConfig &config);
+
+  private:
+    platform::Cluster &cluster_;
+    const Population &population_;
+};
+
+} // namespace catalyzer::load
+
+#endif // CATALYZER_LOAD_DRIVER_H

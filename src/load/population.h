@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic multi-tenant function populations.
+ *
+ * A fleet experiment needs thousands of functions, but the paper
+ * catalog has ~24. The Population builds a deterministic synthetic
+ * catalog: every function gets an AppProfile derived from a lightweight
+ * language archetype (sizes jittered per function so images differ), a
+ * tenant, and a Zipf share of the fleet's request rate. Popularity rank
+ * is a *seeded permutation* of the catalog order — the hot head of the
+ * distribution lands on arbitrary tenants and archetypes, the way real
+ * platform popularity does, instead of on whichever function happened
+ * to be created first.
+ *
+ * Profiles live in stable storage for the Population's lifetime:
+ * FunctionArtifacts keeps a reference to the deployed AppProfile, so a
+ * Population must outlive any Cluster it was deployed to.
+ */
+
+#ifndef CATALYZER_LOAD_POPULATION_H
+#define CATALYZER_LOAD_POPULATION_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.h"
+#include "platform/cluster.h"
+
+namespace catalyzer::load {
+
+/** Knobs for building a synthetic population. */
+struct PopulationSpec
+{
+    std::size_t functions = 1000;
+    std::size_t tenants = 40;
+    /** Fleet-wide mean request rate, split by Zipf share. */
+    double totalRps = 1000.0;
+    /** Zipf skew: share(rank) ~ 1 / rank^skew. */
+    double zipfSkew = 1.0;
+    /** Drives the rank permutation and per-function size jitter. */
+    std::uint64_t seed = 1;
+};
+
+/** One synthetic function in the fleet. */
+struct FleetFunction
+{
+    std::string name; ///< "t007/fn-0421": tenant-scoped, fleet-unique
+    std::size_t index = 0;  ///< position in Population::functions()
+    std::size_t tenant = 0;
+    std::size_t rank = 0;   ///< popularity rank, 0 = hottest
+    double baseRps = 0.0;   ///< Zipf share of PopulationSpec::totalRps
+    const apps::AppProfile *profile = nullptr;
+};
+
+/** A deterministic synthetic function catalog. */
+class Population
+{
+  public:
+    explicit Population(PopulationSpec spec);
+
+    const PopulationSpec &spec() const { return spec_; }
+    const std::vector<FleetFunction> &functions() const
+    {
+        return functions_;
+    }
+    const FleetFunction &fn(std::size_t i) const { return functions_[i]; }
+    std::size_t size() const { return functions_.size(); }
+    std::size_t tenantCount() const { return spec_.tenants; }
+
+    /** Stable tenant id string, e.g. "t007". */
+    static std::string tenantName(std::size_t tenant);
+
+    /** Register every function on every machine of @p cluster. */
+    void deployTo(platform::Cluster &cluster) const;
+
+    /** Register @p fn on one machine (idempotent; lazy-deploy path). */
+    void deployTo(platform::ServerlessPlatform &platform,
+                  const FleetFunction &fn) const;
+
+  private:
+    PopulationSpec spec_;
+    /** Stable addresses: FunctionArtifacts holds profile references. */
+    std::deque<apps::AppProfile> profiles_;
+    std::vector<FleetFunction> functions_;
+};
+
+} // namespace catalyzer::load
+
+#endif // CATALYZER_LOAD_POPULATION_H

@@ -43,6 +43,23 @@ evaluateSlo(const sim::WindowedHistogram &series, const SloTarget &target)
     return report;
 }
 
+std::vector<TenantSlo>
+evaluatePerTenant(
+    const std::map<std::string, sim::WindowedHistogram> &series,
+    const SloTarget &target)
+{
+    std::vector<TenantSlo> out;
+    out.reserve(series.size());
+    for (const auto &[tenant, hist] : series) {
+        TenantSlo t;
+        t.tenant = tenant;
+        t.events = hist.totalCount();
+        t.report = evaluateSlo(hist, target);
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
 void
 writeSloJson(std::ostream &os, const std::vector<SloReport> &reports)
 {

@@ -18,6 +18,7 @@
 #define CATALYZER_OBS_SLO_H
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,24 @@ struct SloReport
  *  interpolated percentiles). */
 SloReport evaluateSlo(const sim::WindowedHistogram &series,
                       const SloTarget &target);
+
+/** One tenant's evaluation in a multi-tenant fleet run. */
+struct TenantSlo
+{
+    std::string tenant;
+    std::size_t events = 0;
+    SloReport report;
+};
+
+/**
+ * Evaluate @p target over every tenant's windowed series (map key =
+ * tenant name), in key order. The fleet bench scores per-tenant SLO
+ * attainment with this: a fleet-level attainment number can hide one
+ * tenant absorbing all the bad events.
+ */
+std::vector<TenantSlo>
+evaluatePerTenant(const std::map<std::string, sim::WindowedHistogram> &series,
+                  const SloTarget &target);
 
 /**
  * JSON report for a batch of evaluations:

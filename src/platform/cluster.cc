@@ -179,11 +179,25 @@ Cluster::pick(const std::string &function_name)
     sim::panic("unreachable placement policy");
 }
 
+std::size_t
+Cluster::route(const std::string &function_name)
+{
+    return pick(function_name);
+}
+
 ClusterInvocation
 Cluster::invoke(const std::string &function_name,
                 trace::TraceContext trace)
 {
-    const std::size_t target = pick(function_name);
+    return invokeOn(pick(function_name), function_name, trace);
+}
+
+ClusterInvocation
+Cluster::invokeOn(std::size_t target, const std::string &function_name,
+                  trace::TraceContext trace)
+{
+    if (target >= nodes_.size())
+        sim::panic("Cluster::invokeOn: machine %zu out of range", target);
     if (!trace.enabled()) {
         // Self-trace into the chosen machine's always-on ring so fleet
         // exports and flight-recorder dumps see the whole request.

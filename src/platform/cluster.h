@@ -92,6 +92,20 @@ class Cluster
     ClusterInvocation invoke(const std::string &function_name,
                              trace::TraceContext trace = {});
 
+    /**
+     * Run the scheduler only: the machine invoke() would pick for this
+     * request *now*, advancing stateful policies (the round-robin
+     * cursor). Call once per request, then invokeOn() the result —
+     * fleet drivers use the split to align the chosen machine's clock
+     * with the arrival before serving it.
+     */
+    std::size_t route(const std::string &function_name);
+
+    /** The invoke() tail on an already-routed machine. */
+    ClusterInvocation invokeOn(std::size_t machine_index,
+                               const std::string &function_name,
+                               trace::TraceContext trace = {});
+
     std::size_t machineCount() const { return nodes_.size(); }
     ServerlessPlatform &platform(std::size_t i);
     sandbox::Machine &machine(std::size_t i);

@@ -278,8 +278,14 @@ ServerlessPlatform::invoke(const std::string &function_name,
                            trace::TraceContext trace)
 {
     auto &ctx = machine_.ctx();
+    // Deployed functions resolve through the registry, which also
+    // serves synthetic fleet functions that have no catalog entry; the
+    // catalog lookup remains for legacy callers invoking an app that
+    // was never deploy()ed.
+    FunctionArtifacts *found = registry_.find(function_name);
     FunctionArtifacts &fn =
-        registry_.artifactsFor(apps::appByName(function_name));
+        found ? *found
+              : registry_.artifactsFor(apps::appByName(function_name));
 
     // Always-on: an untraced request self-traces into the machine's
     // bounded ring tracer, so a later incident has the spans that led
@@ -430,6 +436,22 @@ ServerlessPlatform::idleCount() const
     for (const auto &[name, entries] : idle_)
         n += entries.size();
     return n;
+}
+
+std::size_t
+ServerlessPlatform::residentBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &[name, list] : running_) {
+        for (const auto &inst : list)
+            bytes += inst->rssBytes();
+    }
+    for (const auto &[name, entries] : idle_) {
+        for (const auto &entry : entries)
+            bytes += entry.instance->rssBytes();
+    }
+    bytes += runtime_.templateMemoryBytes();
+    return bytes;
 }
 
 void

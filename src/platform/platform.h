@@ -128,6 +128,13 @@ class ServerlessPlatform
     std::size_t idleCount() const;
 
     /**
+     * Resident memory attributable to serving: every live instance
+     * (running and idle keep-alive) plus all template sandboxes. The
+     * figure memory-pressure autoscaling budgets against.
+     */
+    std::size_t residentBytes() const;
+
+    /**
      * Release a cold function's restore memory: its shared Base-EPT and
      * func-image page cache. Refused (returns 0) while the function has
      * live or idle instances attached. Returns the resident bytes

@@ -51,6 +51,26 @@ BootPolicyManager::observe(const std::string &function_name)
     functions_[function_name].recentInvocations += 1.0;
 }
 
+void
+BootPolicyManager::noteExternalTemplate(const std::string &function_name)
+{
+    functions_[function_name].hasTemplate = true;
+}
+
+void
+BootPolicyManager::grantPrewarmCredit(const std::string &function_name,
+                                      double weight)
+{
+    FunctionState &state = functions_[function_name];
+    state.recentInvocations = std::max(state.recentInvocations, weight);
+}
+
+void
+BootPolicyManager::setTemplateMemoryBudget(std::size_t bytes)
+{
+    config_.templateMemoryBudgetBytes = bytes;
+}
+
 double
 BootPolicyManager::score(const FunctionState &state) const
 {
@@ -71,7 +91,8 @@ std::size_t
 BootPolicyManager::rebalance()
 {
     auto &runtime = platform_.catalyzer();
-    std::size_t actions = 0;
+    std::size_t builds = 0;
+    std::size_t drops = 0;
 
     // Rank candidates by score.
     std::vector<std::pair<double, std::string>> ranked;
@@ -91,11 +112,17 @@ BootPolicyManager::rebalance()
                  static_cast<double>(config_.hotThreshold));
         if (hot) {
             if (!state.hasTemplate) {
+                // Deployed functions (fleet populations included) come
+                // from the registry; the app catalog is the fallback for
+                // names observed before deploy().
+                sandbox::FunctionArtifacts *fn =
+                    platform_.registry().find(name);
                 platform_.catalyzer().prepareTemplate(
-                    platform_.registry().artifactsFor(
-                        apps::appByName(name)));
+                    fn ? *fn
+                       : platform_.registry().artifactsFor(
+                             apps::appByName(name)));
                 state.hasTemplate = true;
-                ++actions;
+                ++builds;
             }
             const auto *tmpl = runtime.templateFor(name);
             const std::size_t cost = tmpl ? tmpl->rssBytes() : 0;
@@ -103,7 +130,7 @@ BootPolicyManager::rebalance()
                 // Over budget: this one (and everything colder) goes.
                 runtime.dropTemplate(name);
                 state.hasTemplate = false;
-                ++actions;
+                ++drops;
             } else {
                 used += cost;
                 continue;
@@ -112,9 +139,10 @@ BootPolicyManager::rebalance()
         if (!hot && state.hasTemplate) {
             runtime.dropTemplate(name);
             state.hasTemplate = false;
-            ++actions;
+            ++drops;
         }
     }
+    std::size_t actions = builds + drops;
 
     // Reclaim the restore artifacts of fully cold functions; prefetch
     // rebuilds their working set cheaply on the next boot.
@@ -133,6 +161,23 @@ BootPolicyManager::rebalance()
         if (state.recentInvocations < config_.coldFloor)
             state.recentInvocations = 0.0;
     }
+
+    // Windowed policy series: hot-set size and churn per rebalance.
+    // Like every win.* series these never appear in writeJson(), so
+    // plain metrics snapshots are unchanged byte for byte.
+    std::size_t hot_set = 0;
+    for (const auto &[name, state] : functions_) {
+        if (state.hasTemplate)
+            ++hot_set;
+    }
+    auto &stats = platform_.machine().ctx().stats();
+    const sim::SimTime now = platform_.machine().ctx().clock().now();
+    stats.observeWindowed("win.policy.hot_set", now,
+                          static_cast<double>(hot_set));
+    stats.observeWindowed("win.policy.template_builds", now,
+                          static_cast<double>(builds));
+    stats.observeWindowed("win.policy.template_drops", now,
+                          static_cast<double>(drops));
     return actions;
 }
 

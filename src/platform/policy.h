@@ -73,6 +73,26 @@ class BootPolicyManager
     void observe(const std::string &function_name);
 
     /**
+     * Adopt a template built outside rebalance() (a fleet autoscaler's
+     * pre-warm): the pool accounts for it and rebalance manages its
+     * lifetime from now on.
+     */
+    void noteExternalTemplate(const std::string &function_name);
+
+    /**
+     * Raise a function's traffic counter to at least @p weight so the
+     * next rebalances treat it as hot. Used by predictive pre-warm: the
+     * build lands *before* the burst, and without the credit the very
+     * next rebalance would drop the template it just paid for. Decay
+     * ages the credit out normally if the predicted traffic never comes.
+     */
+    void grantPrewarmCredit(const std::string &function_name,
+                            double weight);
+
+    /** Replace the template-pool memory budget (autoscaling). */
+    void setTemplateMemoryBudget(std::size_t bytes);
+
+    /**
      * Re-evaluate the template pool: build templates for the hottest /
      * highest-priority functions while under the memory budget; drop
      * templates whose functions went cold. Returns the number of

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "load/arrival.h"
 #include "sim/logging.h"
 #include "sim/rng.h"
 
@@ -10,15 +11,31 @@ namespace catalyzer::platform {
 
 WorkloadSpec
 WorkloadSpec::zipf(const std::vector<std::string> &functions,
-                   double total_rps, double skew)
+                   double total_rps, double skew,
+                   std::uint64_t shuffle_seed)
 {
+    // rank[i] is function i's popularity rank (0 = hottest): identity
+    // by default, a seeded permutation when the caller wants popularity
+    // decoupled from catalog order.
+    std::vector<std::size_t> rank(functions.size());
+    for (std::size_t i = 0; i < rank.size(); ++i)
+        rank[i] = i;
+    if (shuffle_seed != 0) {
+        sim::Rng rng(shuffle_seed);
+        for (std::size_t i = rank.size(); i > 1; --i)
+            std::swap(rank[i - 1],
+                      rank[static_cast<std::size_t>(
+                          rng.uniformInt(static_cast<std::uint64_t>(i)))]);
+    }
+
     WorkloadSpec spec;
     double norm = 0.0;
     for (std::size_t i = 0; i < functions.size(); ++i)
         norm += 1.0 / std::pow(static_cast<double>(i + 1), skew);
     for (std::size_t i = 0; i < functions.size(); ++i) {
         const double share =
-            (1.0 / std::pow(static_cast<double>(i + 1), skew)) / norm;
+            (1.0 / std::pow(static_cast<double>(rank[i] + 1), skew)) /
+            norm;
         spec.mix.push_back(
             WorkloadEntry{functions[i], total_rps * share});
     }
@@ -32,40 +49,27 @@ WorkloadDriver::run(const WorkloadSpec &spec)
         sim::fatal("WorkloadDriver: empty mix");
 
     // Build the merged arrival schedule: the explicit trace if given,
-    // else Poisson streams per mix entry.
-    struct Arrival
-    {
-        double atSec;
-        std::string function;
-    };
-    std::vector<Arrival> arrivals;
+    // else Poisson streams per mix entry. One Rng threads through the
+    // mix in order — the generator draws exactly the sequence this
+    // driver always drew, so extracting it changed no schedule.
+    std::vector<load::Arrival> arrivals;
     if (!spec.trace.empty()) {
         for (const TraceEvent &event : spec.trace)
-            arrivals.push_back(Arrival{event.atSec, event.function});
+            arrivals.push_back(load::Arrival{event.atSec, event.function});
     } else {
         sim::Rng rng(spec.seed);
-        for (const auto &entry : spec.mix) {
-            if (entry.requestsPerSecond <= 0.0)
-                continue;
-            double t = 0.0;
-            for (;;) {
-                t += rng.exponential(1.0 / entry.requestsPerSecond);
-                if (t >= spec.durationSec)
-                    break;
-                arrivals.push_back(Arrival{t, entry.function});
-            }
-        }
+        for (const auto &entry : spec.mix)
+            load::appendPoissonArrivals(rng, entry.requestsPerSecond,
+                                        spec.durationSec, entry.function,
+                                        arrivals);
     }
-    std::sort(arrivals.begin(), arrivals.end(),
-              [](const Arrival &a, const Arrival &b) {
-                  return a.atSec < b.atSec;
-              });
+    load::sortByTime(arrivals);
 
     auto &clock = platform_.machine().ctx().clock();
     const sim::SimTime start = clock.now();
 
     WorkloadReport report;
-    for (const Arrival &arrival : arrivals) {
+    for (const load::Arrival &arrival : arrivals) {
         const sim::SimTime due =
             start + sim::SimTime::seconds(arrival.atSec);
         if (clock.now() < due) {

@@ -54,10 +54,15 @@ struct WorkloadSpec
 
     /**
      * Build a Zipf-skewed mix over @p functions with the given total
-     * request rate (popularity rank follows catalog order).
+     * request rate. With @p shuffle_seed == 0 the popularity rank
+     * follows the order of @p functions (rank 0 — the hottest — is
+     * functions[0]); any other value assigns ranks by a seeded
+     * Fisher-Yates permutation, decoupling popularity from catalog
+     * order so "hot" is not always the same function.
      */
     static WorkloadSpec zipf(const std::vector<std::string> &functions,
-                             double total_rps, double skew = 1.0);
+                             double total_rps, double skew = 1.0,
+                             std::uint64_t shuffle_seed = 0);
 };
 
 /** Aggregated results of one workload run. */

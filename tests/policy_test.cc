@@ -103,6 +103,29 @@ TEST_F(PolicyTest, TemplateMemoryAccounting)
     EXPECT_EQ(manager.templatedFunctions().size(), 1u);
 }
 
+TEST_F(PolicyTest, RebalanceEmitsWindowedPolicySeries)
+{
+    for (int i = 0; i < 10; ++i)
+        manager.observe("ds-text");
+    manager.rebalance();
+
+    auto &stats = machine.ctx().stats();
+    const sim::WindowedHistogram *hot =
+        stats.findWindowed("win.policy.hot_set");
+    const sim::WindowedHistogram *builds =
+        stats.findWindowed("win.policy.template_builds");
+    const sim::WindowedHistogram *drops =
+        stats.findWindowed("win.policy.template_drops");
+    ASSERT_NE(hot, nullptr);
+    ASSERT_NE(builds, nullptr);
+    ASSERT_NE(drops, nullptr);
+    EXPECT_EQ(hot->totalCount(), 1u);
+
+    // A second rebalance appends another observation per series.
+    manager.rebalance();
+    EXPECT_EQ(hot->totalCount(), 2u);
+}
+
 TEST(PolicyNamesTest, PriorityNames)
 {
     EXPECT_STREQ(functionPriorityName(FunctionPriority::High), "high");

@@ -9,6 +9,7 @@ observability layer produces, run by CI right after the smoke benches:
   slo=FILE         SLO evaluation report (obs::writeSloJson)
   trace=FILE       Chrome trace_event document (exportChromeTrace /
                    Cluster::exportFleetTrace)
+  fleet=FILE       fleet SLO/cost sweep (bench/fig_fleet_slo)
 
 Usage: check_obs_schema.py kind=path [kind=path ...]
 
@@ -154,8 +155,129 @@ def check_trace(path, doc):
                    f"{e.get('pid')} with no process_name metadata")
 
 
+def check_fleet(path, doc):
+    if not expect(isinstance(doc, dict), path, "root is not an object"):
+        return
+    config = doc.get("config")
+    if expect(isinstance(config, dict), path,
+              "'config' missing or not an object"):
+        for key in ("functions", "tenants", "machines", "racks",
+                    "total_rps", "duration_sec",
+                    "resident_budget_mib_per_machine"):
+            expect(is_num(config.get(key)) and config[key] > 0, path,
+                   f"config: {key!r} missing or not positive")
+    runs = doc.get("runs")
+    if not expect(isinstance(runs, list) and runs, path,
+                  "'runs' missing, not a list, or empty"):
+        return
+    seen = set()
+    for r in runs:
+        if not expect(isinstance(r, dict), path, "run is not an object"):
+            continue
+        where = f"run {r.get('scenario')!r}/{r.get('policy')!r}"
+        expect(isinstance(r.get("scenario"), str)
+               and isinstance(r.get("policy"), str), path,
+               f"{where}: scenario/policy must be strings")
+        seen.add((r.get("scenario"), r.get("policy")))
+        for key in ("requests", "boots", "reuses", "expired"):
+            expect(isinstance(r.get(key), int) and r[key] >= 0, path,
+                   f"{where}: {key!r} missing or not a counter")
+        if (isinstance(r.get("boots"), int)
+                and isinstance(r.get("reuses"), int)
+                and isinstance(r.get("requests"), int)):
+            expect(r["boots"] + r["reuses"] == r["requests"], path,
+                   f"{where}: boots + reuses != requests")
+        tiers = r.get("tiers")
+        if expect(isinstance(tiers, dict), path,
+                  f"{where}: 'tiers' missing or not an object"):
+            total = 0
+            for tier, count in tiers.items():
+                expect(isinstance(count, int) and count > 0, path,
+                       f"{where}: tier {tier!r} count must be a "
+                       "positive integer")
+                total += count if isinstance(count, int) else 0
+            if isinstance(r.get("requests"), int):
+                expect(total == r["requests"], path,
+                       f"{where}: tier counts do not sum to requests")
+        for block, keys in (
+                ("e2e_ms", ("p50", "p99", "p999", "max")),
+                ("queue_ms", ("p99", "max")),
+                ("boot_ms", ("p50", "p99", "p999")),
+                ("cost", ("machine_seconds", "busy_seconds",
+                          "avg_resident_mib", "peak_resident_mib",
+                          "resident_mib_seconds"))):
+            b = r.get(block)
+            if not expect(isinstance(b, dict), path,
+                          f"{where}: {block!r} missing or not an "
+                          "object"):
+                continue
+            for key in keys:
+                expect(is_num(b.get(key)), path,
+                       f"{where}: {block}.{key} is not a number")
+        slo = r.get("slo")
+        if expect(isinstance(slo, dict), path,
+                  f"{where}: 'slo' missing or not an object"):
+            for name in ("e2e", "boot"):
+                s = slo.get(name)
+                if not expect(isinstance(s, dict), path,
+                              f"{where}: slo.{name} missing"):
+                    continue
+                for key, kind in (("metric", str),
+                                  ("threshold_ms", float),
+                                  ("objective", float),
+                                  ("total_events", int),
+                                  ("bad_events", int),
+                                  ("attainment", float),
+                                  ("objective_met", bool),
+                                  ("worst_burn_rate", float)):
+                    v = s.get(key)
+                    ok = (is_num(v) if kind is float
+                          else isinstance(v, kind)
+                          and (kind is not int
+                               or not isinstance(v, bool)))
+                    expect(ok, path, f"{where}: slo.{name}.{key} "
+                           "missing or wrong type")
+        scaler = r.get("autoscaler")
+        if expect(isinstance(scaler, dict), path,
+                  f"{where}: 'autoscaler' missing or not an object"):
+            for key in ("ticks", "prewarm_triggers", "prewarm_builds",
+                        "prewarm_false_positives",
+                        "prewarm_served_sforks", "rebalance_actions",
+                        "keepalive_expired", "pressure_evictions",
+                        "pressure_budget_shrinks", "cross_rack_builds"):
+                expect(isinstance(scaler.get(key), int)
+                       and scaler[key] >= 0, path,
+                       f"{where}: autoscaler.{key} missing or not a "
+                       "counter")
+        tenants = r.get("tenants")
+        if expect(isinstance(tenants, list) and tenants, path,
+                  f"{where}: 'tenants' missing, not a list, or empty"):
+            for t in tenants:
+                if not expect(isinstance(t, dict), path,
+                              f"{where}: tenant entry not an object"):
+                    continue
+                expect(isinstance(t.get("tenant"), str), path,
+                       f"{where}: tenant without a string name")
+                expect(isinstance(t.get("events"), int)
+                       and t["events"] >= 0, path,
+                       f"{where}: tenant {t.get('tenant')!r} bad "
+                       "'events'")
+                expect(is_num(t.get("attainment"))
+                       and 0.0 <= t["attainment"] <= 1.0, path,
+                       f"{where}: tenant {t.get('tenant')!r} "
+                       "attainment out of [0, 1]")
+                expect(is_num(t.get("worst_burn_rate")), path,
+                       f"{where}: tenant {t.get('tenant')!r} missing "
+                       "worst_burn_rate")
+                expect(isinstance(t.get("met"), bool), path,
+                       f"{where}: tenant {t.get('tenant')!r} missing "
+                       "boolean 'met'")
+    expect(len(seen) == len(runs), path,
+           "duplicate scenario/policy pairs in 'runs'")
+
+
 CHECKS = {"timeseries": check_timeseries, "slo": check_slo,
-          "trace": check_trace}
+          "trace": check_trace, "fleet": check_fleet}
 
 
 def main(argv):
