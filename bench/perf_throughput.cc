@@ -19,16 +19,29 @@
  *                          gate: exit non-zero when the sfork sweep is
  *                          slower (default 0 = no gate; CI sets a
  *                          generous floor to catch gross regressions)
+ *   PERF_FLEET_BOOTS      per-machine boots in the fleet sweep (default 400)
+ *   PERF_FLEET_MACHINES   fleet sweep size                     (default 8)
+ *   PERF_FLEET_WORKERS    parallel executor width              (default 8)
+ *   PERF_MIN_FLEET_SPEEDUP
+ *                          gate: exit non-zero when the N-worker fleet
+ *                          sweep is not at least this many times faster
+ *                          than the 1-worker run (default 0 = no gate;
+ *                          CI enables it only on hosts with enough
+ *                          cores — speedup is bounded by nproc)
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "catalyzer/runtime.h"
 #include "platform/platform.h"
+#include "sim/executor.h"
 #include "sim/table.h"
 
 using namespace catalyzer;
@@ -48,6 +61,13 @@ envLong(const char *name, long fallback)
 {
     const char *v = std::getenv(name);
     return v != nullptr && *v != '\0' ? std::atol(v) : fallback;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
 }
 
 std::string
@@ -167,6 +187,45 @@ touchMicro(long npages)
         {"touch+fork+cow+unmap", touched, secondsSince(start), "pages"});
 }
 
+/**
+ * Fleet sweep: a share-nothing fleet of independent machines, each
+ * running its own sfork boot loop, fanned out over @p workers threads —
+ * the same shape the parallel FleetDriver uses for epoch serving. The
+ * serial/parallel wall-clock ratio is the simulator's thread-scaling
+ * figure of merit.
+ */
+double
+fleetSweep(long boots_per_machine, int machines, int workers)
+{
+    const apps::AppProfile &app = apps::appByName("ds-text");
+    std::vector<std::unique_ptr<sandbox::Machine>> fleet;
+    std::vector<std::unique_ptr<platform::ServerlessPlatform>> plats;
+    for (int m = 0; m < machines; ++m) {
+        fleet.push_back(std::make_unique<sandbox::Machine>(42 + m));
+        plats.push_back(std::make_unique<platform::ServerlessPlatform>(
+            *fleet.back(), platform::PlatformConfig{
+                               platform::BootStrategy::CatalyzerFork}));
+        plats.back()->prepare(app); // template built off-timer
+    }
+
+    const sim::ParallelExecutor exec(workers);
+    const auto start = Clock::now();
+    exec.forEach(static_cast<std::size_t>(machines),
+                 [&](std::size_t m) {
+                     for (long i = 0; i < boots_per_machine; ++i)
+                         plats[m]->invoke(app.name);
+                 });
+    const double wall = secondsSince(start);
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "fleet sfork (%d workers)",
+                  workers);
+    results.push_back({label,
+                       boots_per_machine * static_cast<long>(machines),
+                       wall, "boots"});
+    return wall;
+}
+
 } // namespace
 
 int
@@ -181,12 +240,22 @@ main()
     const long cold_boots = envLong("PERF_COLD_BOOTS", 50);
     const long touch_pages = envLong("PERF_TOUCH_PAGES", 262144);
     const long min_fork_rate = envLong("PERF_MIN_FORK_BOOTS_PER_SEC", 0);
+    const long fleet_boots = envLong("PERF_FLEET_BOOTS", 400);
+    const int fleet_machines =
+        static_cast<int>(envLong("PERF_FLEET_MACHINES", 8));
+    const int fleet_workers =
+        static_cast<int>(envLong("PERF_FLEET_WORKERS", 8));
+    const double min_speedup = envDouble("PERF_MIN_FLEET_SPEEDUP", 0.0);
 
     const auto total_start = Clock::now();
     const double fork_wall = sforkSweep(fork_boots);
     warmSweep(warm_boots);
     coldSweep(cold_boots);
     touchMicro(touch_pages);
+    const double serial_wall =
+        fleetSweep(fleet_boots, fleet_machines, 1);
+    const double parallel_wall =
+        fleetSweep(fleet_boots, fleet_machines, fleet_workers);
     const double total_wall = secondsSince(total_start);
 
     sim::TextTable table("Simulator wall-clock throughput");
@@ -202,13 +271,24 @@ main()
     const double fork_rate =
         static_cast<double>(fork_boots) /
         (fork_wall > 0.0 ? fork_wall : 1e-9);
+    const double speedup =
+        serial_wall / (parallel_wall > 0.0 ? parallel_wall : 1e-9);
     std::printf("\ntotal wall time: %.3f s\n", total_wall);
     std::printf("sfork sweep: %.1f boots/sec\n", fork_rate);
+    std::printf("fleet sweep: %d machines x %ld boots, %d workers: "
+                "%.2fx speedup over 1 worker (%u hardware threads)\n",
+                fleet_machines, fleet_boots, fleet_workers, speedup,
+                std::thread::hardware_concurrency());
 
     if (min_fork_rate > 0 &&
         fork_rate < static_cast<double>(min_fork_rate)) {
         std::printf("FAIL: sfork sweep below the floor of %ld "
                     "boots/sec\n", min_fork_rate);
+        return 1;
+    }
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::printf("FAIL: fleet sweep speedup %.2fx below the floor "
+                    "of %.2fx\n", speedup, min_speedup);
         return 1;
     }
     std::printf("note: wall-clock numbers vary with host load; the CI "

@@ -196,7 +196,7 @@ CatalyzerRuntime::bootRestore(FunctionArtifacts &fn, bool warm,
     const auto &costs = ctx.costs();
     const apps::AppProfile &app = fn.app();
 
-    sim::StatRegistry::global().incr("bench.boots");
+    sim::StatRegistry::incrGlobal("bench.boots");
     trace::ScopedSpan boot_span(
         trace, std::string("boot/Catalyzer-") + (warm ? "warm" : "cold"));
     boot_span.attr("function", app.name);
@@ -566,7 +566,7 @@ CatalyzerRuntime::bootFork(FunctionArtifacts &fn,
         throw faults::FaultError(faults::FaultSite::TemplateDeath,
                                  fn.app().name + " template died");
     }
-    sim::StatRegistry::global().incr("bench.boots");
+    sim::StatRegistry::incrGlobal("bench.boots");
     trace::ScopedSpan boot_span(trace, "boot/Catalyzer-sfork");
     boot_span.attr("function", fn.app().name);
     BootResult result;
@@ -603,7 +603,7 @@ CatalyzerRuntime::bootRemoteFork(FunctionArtifacts &fn,
                                      " unreachable");
     }
 
-    sim::StatRegistry::global().incr("bench.boots");
+    sim::StatRegistry::incrGlobal("bench.boots");
     trace::ScopedSpan boot_span(trace, "boot/Catalyzer-remote-sfork");
     boot_span.attr("function", app.name);
     boot_span.attr("peer", static_cast<std::int64_t>(src.peer));
@@ -873,7 +873,7 @@ CatalyzerRuntime::bootFromLanguageTemplate(FunctionArtifacts &fn,
     const apps::AppProfile &app = fn.app();
     SandboxInstance &tmpl = ensureLanguageTemplate(app.language);
 
-    sim::StatRegistry::global().incr("bench.boots");
+    sim::StatRegistry::incrGlobal("bench.boots");
     trace::ScopedSpan boot_span(trace, "boot/Catalyzer-lang-template");
     boot_span.attr("function", app.name);
     boot_span.attr("language", apps::languageName(app.language));

@@ -15,6 +15,7 @@
 #ifndef CATALYZER_LOAD_DRIVER_H
 #define CATALYZER_LOAD_DRIVER_H
 
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -47,6 +48,15 @@ struct FleetRunConfig
     bool primeImages = true;
     /** Window length for the driver's per-tenant series. */
     sim::SimTime tenantWindow = sim::SimTime::milliseconds(250.0);
+    /**
+     * Worker threads draining per-machine event queues between policy
+     * ticks; 0 reads the CATALYZER_SIM_THREADS environment knob
+     * (default 1). Thread count never changes the report: routing and
+     * accounting stay in stream order, and only share-nothing fleets
+     * (Cluster::shareNothing) actually fan out — fleets coupled by
+     * remote-sfork or P2P images replay sequentially regardless.
+     */
+    int simThreads = 0;
 };
 
 /** Aggregated results of one fleet run. */
@@ -91,6 +101,14 @@ struct FleetReport
     double peakResidentMiB = 0.0;
     /** Time integral of resident memory (MiB * s): the rent paid. */
     double residentMiBSeconds = 0.0;
+
+    /**
+     * Full-fidelity JSON dump: every counter, every raw sample
+     * (round-trip precision), every window, every tenant. Two runs of
+     * the same tape must produce byte-identical dumps regardless of
+     * simThreads — the determinism tests compare exactly this.
+     */
+    void writeJson(std::ostream &os) const;
 };
 
 /** Replays fleet streams against a Cluster. */

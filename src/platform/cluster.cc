@@ -1,6 +1,7 @@
 #include "platform/cluster.h"
 
 #include <functional>
+#include <mutex>
 #include <ostream>
 
 #include "obs/fleet_trace.h"
@@ -97,17 +98,26 @@ Cluster::prepareEverywhere(const apps::AppProfile &app)
 std::size_t
 Cluster::pick(const std::string &function_name)
 {
+    return pickFromLoads(function_name, instanceLoads());
+}
+
+std::size_t
+Cluster::pickFromLoads(const std::string &function_name,
+                       const std::vector<std::size_t> &loads)
+{
+    if (loads.size() != nodes_.size())
+        sim::panic("Cluster: %zu projected loads for %zu machines",
+                   loads.size(), nodes_.size());
     switch (policy_) {
       case PlacementPolicy::RoundRobin:
         return next_rr_++ % nodes_.size();
       case PlacementPolicy::LeastLoaded: {
         std::size_t best = 0;
-        std::size_t best_load = nodes_[0].platform->totalInstances();
+        std::size_t best_load = loads[0];
         for (std::size_t i = 1; i < nodes_.size(); ++i) {
-            const std::size_t load = nodes_[i].platform->totalInstances();
-            if (load < best_load) {
+            if (loads[i] < best_load) {
                 best = i;
-                best_load = load;
+                best_load = loads[i];
             }
         }
         return best;
@@ -117,13 +127,11 @@ Cluster::pick(const std::string &function_name)
       case PlacementPolicy::NetworkAware: {
         // Least-loaded overall is the baseline (lowest index on ties).
         std::size_t best = 0;
-        std::size_t best_load = nodes_[0].platform->totalInstances();
+        std::size_t best_load = loads[0];
         for (std::size_t i = 1; i < nodes_.size(); ++i) {
-            const std::size_t load =
-                nodes_[i].platform->totalInstances();
-            if (load < best_load) {
+            if (loads[i] < best_load) {
                 best = i;
-                best_load = load;
+                best_load = loads[i];
             }
         }
         const std::vector<net::NodeId> holders =
@@ -138,8 +146,7 @@ Cluster::pick(const std::string &function_name)
         for (net::NodeId id : holders) {
             if (id >= nodes_.size())
                 continue;
-            const std::size_t load =
-                nodes_[id].platform->totalInstances();
+            const std::size_t load = loads[id];
             if (!have_holder || load < hload) {
                 have_holder = true;
                 hbest = id;
@@ -163,8 +170,7 @@ Cluster::pick(const std::string &function_name)
             }
             if (!near_holder)
                 continue;
-            const std::size_t load =
-                nodes_[i].platform->totalInstances();
+            const std::size_t load = loads[i];
             if (!have_rack || load < rload) {
                 have_rack = true;
                 rbest = i;
@@ -183,6 +189,37 @@ std::size_t
 Cluster::route(const std::string &function_name)
 {
     return pick(function_name);
+}
+
+std::size_t
+Cluster::routeProjected(const std::string &function_name,
+                        const std::vector<std::size_t> &loads)
+{
+    return pickFromLoads(function_name, loads);
+}
+
+std::vector<std::size_t>
+Cluster::instanceLoads() const
+{
+    std::vector<std::size_t> loads;
+    loads.reserve(nodes_.size());
+    for (const auto &node : nodes_)
+        loads.push_back(node.platform->totalInstances());
+    return loads;
+}
+
+bool
+Cluster::shareNothing() const
+{
+    return !fabric_.config().remoteFork && !fabric_.config().p2pImages;
+}
+
+void
+Cluster::alignWindowOrigins()
+{
+    for (auto &node : nodes_)
+        node.machine->ctx().stats().setWindowOrigin(
+            node.machine->ctx().clock().now());
 }
 
 ClusterInvocation
@@ -254,6 +291,7 @@ Cluster::placementOf(const std::string &function_name) const
 void
 Cluster::mergeStats(sim::StatRegistry &out) const
 {
+    std::lock_guard<std::mutex> lock(aggregation_mu_);
     // Counters sum, histogram samples concatenate, windowed series
     // merge per window (machine order, then sample order, so the
     // output is deterministic).
@@ -283,6 +321,7 @@ Cluster::statsSnapshot(std::ostream &os) const
 void
 Cluster::exportFleetTrace(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(aggregation_mu_);
     std::vector<const trace::Tracer *> tracers;
     tracers.reserve(nodes_.size());
     for (const auto &node : nodes_)

@@ -15,6 +15,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,40 @@ class Cluster
      */
     std::size_t route(const std::string &function_name);
 
+    /**
+     * route() against caller-projected per-machine instance counts
+     * instead of live platform state. The parallel fleet driver routes
+     * a whole epoch up front (epoch-start loads plus its own
+     * routed-this-epoch increments) so placement cannot depend on
+     * which worker thread ran first; stateful policies (the
+     * round-robin cursor) still advance, so interleaving
+     * routeProjected() with route() keeps one deterministic cursor
+     * stream.
+     */
+    std::size_t routeProjected(const std::string &function_name,
+                               const std::vector<std::size_t> &loads);
+
+    /** Live totalInstances() of each machine, indexed by machine. */
+    std::vector<std::size_t> instanceLoads() const;
+
+    /**
+     * True when machines cannot interact mid-request: no remote-sfork
+     * lending and no P2P image streaming, so each machine's timeline
+     * depends only on its own request queue and the fleet may be
+     * served by parallel worker threads. Coupled fleets (remoteFork /
+     * p2pImages) must replay machine-by-machine in index order.
+     */
+    bool shareNothing() const;
+
+    /**
+     * Declare each machine's *current* virtual time the origin of its
+     * windowed series (dropping any pre-origin samples): fleet drivers
+     * call this at measurement start so that win.* windows line up
+     * run-relative across machines whose clocks diverged during
+     * priming. See WindowedHistogram::setOrigin.
+     */
+    void alignWindowOrigins();
+
     /** The invoke() tail on an already-routed machine. */
     ClusterInvocation invokeOn(std::size_t machine_index,
                                const std::string &function_name,
@@ -134,6 +169,9 @@ class Cluster
      * Fold every machine's registry into @p out: counters summed,
      * histogram samples concatenated, windowed series merged per
      * window (machine order, so the result is deterministic).
+     * Serialized against concurrent aggregation calls; callers must
+     * still quiesce worker threads first (aggregating mid-epoch would
+     * read half-written machine registries).
      */
     void mergeStats(sim::StatRegistry &out) const;
 
@@ -152,6 +190,8 @@ class Cluster
 
   private:
     std::size_t pick(const std::string &function_name);
+    std::size_t pickFromLoads(const std::string &function_name,
+                              const std::vector<std::size_t> &loads);
 
     struct Node
     {
@@ -165,6 +205,8 @@ class Cluster
     remote::TemplateRegistry registry_;
     std::vector<Node> nodes_;
     std::size_t next_rr_ = 0;
+    /** Serializes mergeStats/exportFleetTrace against each other. */
+    mutable std::mutex aggregation_mu_;
 };
 
 } // namespace catalyzer::platform

@@ -355,7 +355,7 @@ bootSandbox(SandboxSystem system, FunctionArtifacts &fn,
     BootResult result = system == SandboxSystem::GVisorRestore
                             ? bootGVisorRestoreImpl(fn, trace)
                             : bootFresh(system, fn, trace);
-    sim::StatRegistry::global().incr("bench.boots");
+    sim::StatRegistry::incrGlobal("bench.boots");
     fn.machine().ctx().stats().observe(
         std::string("boot.latency.") + sandboxSystemName(system),
         result.report.total());

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "sim/logging.h"
 #include "sim/time.h"
 
 namespace catalyzer::sim {
@@ -46,6 +47,10 @@ class VirtualClock
 /**
  * RAII span measurement: records the virtual time elapsed between
  * construction and elapsed() calls.
+ *
+ * A Stopwatch must not outlive its clock's timeline: if the clock is
+ * reset() while a Stopwatch is armed, elapsed() would silently
+ * underflow into a huge bogus span; it panics instead.
  */
 class Stopwatch
 {
@@ -55,7 +60,18 @@ class Stopwatch
     {}
 
     /** Virtual time elapsed since construction. */
-    SimTime elapsed() const { return clock_.now() - start_; }
+    SimTime
+    elapsed() const
+    {
+        const SimTime now = clock_.now();
+        if (now < start_)
+            panic("Stopwatch::elapsed: clock moved behind start "
+                  "(%lld ns < %lld ns) — VirtualClock::reset() with an "
+                  "armed stopwatch?",
+                  static_cast<long long>(now.toNs()),
+                  static_cast<long long>(start_.toNs()));
+        return now - start_;
+    }
 
     /** Re-arm the stopwatch at the current instant. */
     void restart() { start_ = clock_.now(); }

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-machine discrete-event queues and the conservative-lookahead
+ * scheduler that lets share-nothing machines run on parallel threads
+ * without breaking virtual-time causality.
+ */
+
+#ifndef CATALYZER_SIM_EVENT_QUEUE_H
+#define CATALYZER_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/time.h"
+
+namespace catalyzer::sim {
+
+/**
+ * A single machine's pending-event queue, ordered by virtual release
+ * time with FIFO tie-break (events posted earlier run earlier at equal
+ * timestamps, so replay order is deterministic regardless of heap
+ * internals).
+ *
+ * The queue itself is single-threaded: exactly one executor thread
+ * drains a machine's queue at a time. Parallelism comes from running
+ * *different* machines' queues concurrently under the conservative
+ * horizon computed by ConservativeScheduler.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Schedule @p fn to run when the machine's clock reaches @p at. */
+    void post(SimTime at, Handler fn);
+
+    /** Earliest pending release time; SimTime::zero() when empty. */
+    SimTime nextAt() const;
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /**
+     * Run every event with release time < @p horizon, in (time, post
+     * order). Before each handler fires, @p clock (when non-null) is
+     * advanced to the event's release time if it lags behind — the
+     * event-queue analogue of a machine idling until the next arrival.
+     * Returns the number of events run.
+     */
+    std::size_t runUntil(SimTime horizon, VirtualClock *clock);
+
+    /** Drain the queue completely (horizon = infinity). */
+    std::size_t runAll(VirtualClock *clock);
+
+  private:
+    struct Event
+    {
+        SimTime at;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    /** Heap order: earliest time first, then lowest sequence number. */
+    static bool later(const Event &a, const Event &b);
+
+    std::vector<Event> events_; // binary min-heap via std::*_heap
+    std::uint64_t next_seq_ = 0;
+};
+
+/**
+ * Conservative-lookahead synchronization across a set of machine
+ * queues: in each round, every queue may safely run events strictly
+ * below
+ *
+ *   horizon = min over queues of nextAt()  +  lookahead
+ *
+ * (clamped to the caller's barrier) because no machine can cause an
+ * effect on another machine sooner than the cross-machine latency
+ * floor @p lookahead (the Fabric RTT — remote-sfork lend, RemotePager
+ * pull, P2P image stream all ride on it). Queues whose horizons have
+ * been computed this way may be drained concurrently.
+ *
+ * The scheduler only computes horizons; the caller owns threading (see
+ * ParallelExecutor) and must not post cross-queue events closer than
+ * @p lookahead ahead of the posting machine's clock.
+ */
+class ConservativeScheduler
+{
+  public:
+    ConservativeScheduler(std::vector<EventQueue> &queues,
+                          SimTime lookahead)
+        : queues_(queues), lookahead_(lookahead)
+    {}
+
+    SimTime lookahead() const { return lookahead_; }
+
+    /**
+     * Lookahead for fleets with no cross-machine interactions at all:
+     * every horizon clamps straight to the barrier, so each epoch
+     * drains in a single round.
+     */
+    static constexpr SimTime
+    unboundedLookahead()
+    {
+        return SimTime::nanoseconds(
+            std::numeric_limits<std::int64_t>::max());
+    }
+
+    /** True once every queue is empty. */
+    bool done() const;
+
+    /**
+     * Horizon for the next round, clamped to @p barrier: every queue
+     * may run events with release time < the returned value. Returns
+     * @p barrier when all queues are empty.
+     */
+    SimTime nextHorizon(SimTime barrier) const;
+
+    /**
+     * Run rounds until every queue is drained up to @p barrier,
+     * invoking @p round(horizon) once per round. The callback drains
+     * all queues below the horizon (serially or in parallel) and must
+     * make progress; a round that runs no events and leaves the
+     * horizon stuck panics instead of spinning forever.
+     */
+    void runRounds(SimTime barrier,
+                   const std::function<std::size_t(SimTime)> &round);
+
+  private:
+    std::vector<EventQueue> &queues_;
+    SimTime lookahead_;
+};
+
+} // namespace catalyzer::sim
+
+#endif // CATALYZER_SIM_EVENT_QUEUE_H

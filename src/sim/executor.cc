@@ -1,0 +1,82 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace catalyzer::sim {
+
+void
+ParallelExecutor::forEach(std::size_t n,
+                          const std::function<void(std::size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+    const std::size_t nworkers =
+        serial() ? 1
+                 : std::min(static_cast<std::size_t>(workers_), n);
+    if (nworkers == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    auto drain = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                // Simulation handlers report failure via panic();
+                // an exception escaping one would deadlock siblings.
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(nworkers - 1);
+    for (std::size_t w = 1; w < nworkers; ++w)
+        threads.emplace_back(drain);
+    drain();
+    for (auto &t : threads)
+        t.join();
+    if (failed.load(std::memory_order_relaxed))
+        panic("ParallelExecutor::forEach: a worker threw");
+}
+
+int
+ParallelExecutor::threadsFromEnv(int fallback)
+{
+    const char *raw = std::getenv("CATALYZER_SIM_THREADS");
+    int threads = fallback;
+    if (raw != nullptr && *raw != '\0') {
+        try {
+            threads = std::stoi(raw);
+        } catch (const std::exception &) {
+            warn("CATALYZER_SIM_THREADS=\"%s\" is not a number; "
+                 "using %d",
+                 raw, fallback);
+            threads = fallback;
+        }
+    }
+    if (threads < 1)
+        threads = 1;
+    if (threads > 256)
+        threads = 256;
+    return threads;
+}
+
+} // namespace catalyzer::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <ostream>
 
@@ -66,10 +67,21 @@ WindowedHistogram &
 StatRegistry::windowed(const std::string &name)
 {
     auto it = windowed_.find(name);
-    if (it == windowed_.end())
+    if (it == windowed_.end()) {
         it = windowed_.emplace(name, WindowedHistogram(window_length_))
                  .first;
+        if (window_origin_set_)
+            it->second.setOrigin(window_origin_);
+    }
     return it->second;
+}
+
+void
+StatRegistry::setWindowOrigin(SimTime origin)
+{
+    windowed_.clear();
+    window_origin_ = origin;
+    window_origin_set_ = true;
 }
 
 const WindowedHistogram *
@@ -212,14 +224,33 @@ WindowedHistogram::windows() const
 }
 
 void
+WindowedHistogram::setOrigin(SimTime origin)
+{
+    if (total_count_ != 0)
+        panic("WindowedHistogram::setOrigin: %zu samples already "
+              "recorded against the old origin",
+              total_count_);
+    origin_ = origin;
+    origin_set_ = true;
+}
+
+void
 WindowedHistogram::merge(const WindowedHistogram &other)
 {
-    if (empty() && total_count_ == 0)
+    if (empty() && total_count_ == 0) {
         window_length_ = other.window_length_;
+        if (!origin_set_) {
+            origin_ = other.origin_;
+            origin_set_ = other.origin_set_;
+        }
+    }
     if (window_length_ != other.window_length_)
         panic("WindowedHistogram::merge: window lengths differ "
               "(%.3f ms vs %.3f ms)",
               window_length_.toMs(), other.window_length_.toMs());
+    if (origin_set_ != other.origin_set_)
+        panic("WindowedHistogram::merge: origin-aligned series merged "
+              "with unaligned series (windows would misalign)");
     for (const auto &w : other.windows()) {
         Window *hit = nullptr;
         for (auto &mine : windows_) {
@@ -256,7 +287,12 @@ WindowedHistogram::indexFor(SimTime now) const
 {
     if (window_length_.toNs() <= 0)
         panic("WindowedHistogram: non-positive window length");
-    return now.toNs() / window_length_.toNs();
+    if (origin_set_ && now < origin_)
+        panic("WindowedHistogram: sample at %lld ns predates the "
+              "declared origin %lld ns",
+              static_cast<long long>(now.toNs()),
+              static_cast<long long>(origin_.toNs()));
+    return (now.toNs() - origin_.toNs()) / window_length_.toNs();
 }
 
 StatRegistry &
@@ -264,6 +300,14 @@ StatRegistry::global()
 {
     static StatRegistry registry;
     return registry;
+}
+
+void
+StatRegistry::incrGlobal(const std::string &name, std::int64_t delta)
+{
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    global().incr(name, delta);
 }
 
 double

@@ -121,7 +121,26 @@ class WindowedHistogram
 
     SimTime windowLength() const { return window_length_; }
 
-    /** Start of window @p index on the virtual clock. */
+    /**
+     * Declare @p origin as window 0's start: samples are bucketed by
+     * origin-relative time, so per-machine series whose virtual clocks
+     * started at different absolute instants (priming, deployment)
+     * still line up window-for-window when merged. Must be called
+     * before any sample lands. An aligned series only merges with
+     * other aligned series (and vice versa) — see merge().
+     */
+    void setOrigin(SimTime origin);
+
+    /** True once setOrigin() declared a measurement origin. */
+    bool originAligned() const { return origin_set_; }
+
+    /** The declared origin (zero when unaligned). */
+    SimTime origin() const { return origin_; }
+
+    /**
+     * Start of window @p index, relative to the origin (equals the
+     * virtual-clock start for unaligned series).
+     */
     SimTime
     windowStart(std::int64_t index) const
     {
@@ -136,7 +155,12 @@ class WindowedHistogram
 
     /**
      * Fold @p other into this series (fleet aggregation). Window
-     * lengths must match; an empty destination adopts the source's.
+     * lengths must match and both sides must agree on origin
+     * alignment (panic otherwise — a silent merge would misalign the
+     * win.* series across machines); an empty destination adopts the
+     * source's length and alignment. Two aligned series merge by
+     * origin-relative index even when their absolute origins differ —
+     * that is the point of alignment.
      */
     void merge(const WindowedHistogram &other);
 
@@ -146,6 +170,9 @@ class WindowedHistogram
     std::int64_t indexFor(SimTime now) const;
 
     SimTime window_length_;
+    /** Window 0 start when origin_set_; see setOrigin(). */
+    SimTime origin_;
+    bool origin_set_ = false;
     /** Sparse, kept sorted by index lazily (see windows()). */
     mutable std::vector<Window> windows_;
     mutable bool sorted_valid_ = true;
@@ -209,6 +236,18 @@ class StatRegistry
     void setWindowLength(SimTime length) { window_length_ = length; }
     SimTime windowLength() const { return window_length_; }
 
+    /**
+     * Align all windowed series created after this call to @p origin
+     * (see WindowedHistogram::setOrigin). Existing windowed series are
+     * dropped: the origin marks the start of the measurement frame,
+     * and pre-origin samples (priming, deployment) belong to no
+     * window of it.
+     */
+    void setWindowOrigin(SimTime origin);
+
+    /** True once setWindowOrigin() declared a measurement origin. */
+    bool windowOriginAligned() const { return window_origin_set_; }
+
     /** Reset every counter and histogram. */
     void clear();
 
@@ -243,11 +282,22 @@ class StatRegistry
     /** The process-wide registry. */
     static StatRegistry &global();
 
+    /**
+     * Thread-safe increment on the process-wide registry. Machine
+     * registries are single-writer (their machine's worker thread) and
+     * need no locking, but global() is shared by every machine — bench
+     * bookkeeping that fires on the boot path must go through here
+     * once machines run on parallel executor threads.
+     */
+    static void incrGlobal(const std::string &name, std::int64_t delta = 1);
+
   private:
     std::map<std::string, std::int64_t> counters_;
     std::map<std::string, LatencySeries> series_;
     std::map<std::string, WindowedHistogram> windowed_;
     SimTime window_length_ = SimTime::milliseconds(250.0);
+    SimTime window_origin_;
+    bool window_origin_set_ = false;
 };
 
 } // namespace catalyzer::sim

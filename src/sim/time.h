@@ -13,6 +13,9 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <type_traits>
+
+#include "sim/logging.h"
 
 namespace catalyzer::sim {
 
@@ -90,14 +93,39 @@ class SimTime
     }
 
     /**
-     * Scale a span by a count or factor (e.g. per-object cost times
-     * object count). Counts are exact up to 2^53.
+     * Scale a span by a factor (e.g. per-object cost times object
+     * count). Counts are exact up to 2^53. Panics when the product
+     * cannot be represented as a SimTime (overflow would otherwise
+     * silently wrap the virtual clock — a fleet-scale page-batch count
+     * is enough to hit it).
      */
     constexpr SimTime
     operator*(double f) const
     {
-        return SimTime(static_cast<std::int64_t>(
-            static_cast<double>(ns_) * f));
+        const double product = static_cast<double>(ns_) * f;
+        if (!(product >= kMinProductNs && product <= kMaxProductNs))
+            panic("SimTime::operator*: %lld ns * %f overflows",
+                  static_cast<long long>(ns_), f);
+        return SimTime(static_cast<std::int64_t>(product));
+    }
+
+    /**
+     * Exact checked multiply for integral counts: unlike the double
+     * path there is no precision loss below 2^63, and overflow panics
+     * instead of wrapping.
+     */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    constexpr SimTime
+    operator*(T n) const
+    {
+        std::int64_t product = 0;
+        if (__builtin_mul_overflow(ns_, static_cast<std::int64_t>(n),
+                                   &product))
+            panic("SimTime::operator*: %lld ns * %lld overflows",
+                  static_cast<long long>(ns_),
+                  static_cast<long long>(n));
+        return SimTime(product);
     }
 
     /** Divide a span, e.g. to spread work across parallel workers. */
@@ -114,6 +142,14 @@ class SimTime
 
   private:
     explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+
+    /**
+     * Conservative int64 range for the double-multiply overflow check:
+     * the nearest doubles strictly inside int64's range, so the cast
+     * back to int64 is always defined.
+     */
+    static constexpr double kMaxProductNs = 9.2e18;
+    static constexpr double kMinProductNs = -9.2e18;
 
     std::int64_t ns_;
 };

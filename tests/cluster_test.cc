@@ -176,6 +176,83 @@ TEST(ClusterTest, FleetStatsSnapshotAggregates)
         2);
 }
 
+TEST(ClusterTest, RouteProjectedMatchesRouteOnLiveLoads)
+{
+    // routeProjected against the live load vector must pick the same
+    // machine route() would, for every policy — the parallel driver
+    // leans on this to pre-route epochs without changing placement.
+    for (PlacementPolicy policy :
+         {PlacementPolicy::RoundRobin, PlacementPolicy::LeastLoaded,
+          PlacementPolicy::FunctionAffinity,
+          PlacementPolicy::NetworkAware}) {
+        Cluster a(3, policy,
+                  PlatformConfig{BootStrategy::CatalyzerWarm});
+        Cluster b(3, policy,
+                  PlatformConfig{BootStrategy::CatalyzerWarm});
+        a.deploy(apps::appByName("ds-text"));
+        b.deploy(apps::appByName("ds-text"));
+        for (int i = 0; i < 7; ++i) {
+            const std::size_t live = a.route("ds-text");
+            const std::size_t projected =
+                b.routeProjected("ds-text", b.instanceLoads());
+            EXPECT_EQ(live, projected) << "policy "
+                                       << placementPolicyName(policy)
+                                       << " step " << i;
+            a.invokeOn(live, "ds-text");
+            b.invokeOn(projected, "ds-text");
+        }
+    }
+}
+
+TEST(ClusterTest, ShareNothingReflectsFabricCoupling)
+{
+    Cluster flat(2, PlacementPolicy::RoundRobin,
+                 PlatformConfig{BootStrategy::CatalyzerWarm});
+    EXPECT_TRUE(flat.shareNothing());
+
+    net::FabricConfig remote_fork;
+    remote_fork.modelTransfers = true;
+    remote_fork.remoteFork = true;
+    Cluster lending(2, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerWarm}, {},
+                    sim::CostModel{}, 42, remote_fork);
+    EXPECT_FALSE(lending.shareNothing());
+
+    net::FabricConfig p2p;
+    p2p.modelTransfers = true;
+    p2p.p2pImages = true;
+    Cluster streaming(2, PlacementPolicy::RoundRobin,
+                      PlatformConfig{BootStrategy::CatalyzerWarm}, {},
+                      sim::CostModel{}, 42, p2p);
+    EXPECT_FALSE(streaming.shareNothing());
+}
+
+TEST(ClusterTest, AlignWindowOriginsLinesUpMachineSeries)
+{
+    Cluster cluster(2, PlacementPolicy::RoundRobin,
+                    PlatformConfig{BootStrategy::CatalyzerAuto});
+    cluster.deploy(apps::appByName("ds-text"));
+    // Machine 0's clock runs ahead (priming asymmetry).
+    cluster.invokeOn(0, "ds-text");
+    cluster.invokeOn(0, "ds-text");
+    ASSERT_NE(cluster.machine(0).ctx().clock().now(),
+              cluster.machine(1).ctx().clock().now());
+
+    cluster.alignWindowOrigins();
+    cluster.invokeOn(0, "ds-text");
+    cluster.invokeOn(1, "ds-text");
+    // Both machines' win.e2e_ms series restarted at their aligned
+    // origin: merged, the samples share run-relative window 0.
+    sim::StatRegistry fleet;
+    cluster.mergeStats(fleet);
+    const sim::WindowedHistogram *w = fleet.findWindowed("win.e2e_ms");
+    ASSERT_NE(w, nullptr);
+    EXPECT_TRUE(w->originAligned());
+    EXPECT_EQ(w->totalCount(), 2u);
+    ASSERT_FALSE(w->windows().empty());
+    EXPECT_EQ(w->windows().front().index, 0);
+}
+
 TEST(ClusterTest, EmptyClusterIsFatal)
 {
     EXPECT_EXIT((Cluster{0, PlacementPolicy::RoundRobin}),

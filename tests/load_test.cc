@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <sstream>
 
 #include "load/arrival.h"
 #include "load/driver.h"
@@ -398,6 +400,110 @@ TEST(FleetAutoscalerTest, ServedSforkIsNotAFalsePositive)
 
     scaler.finalize();
     EXPECT_EQ(scaler.counters().prewarmFalsePositives, 0u);
+}
+
+//
+// Parallel replay determinism: the worker-thread count must never
+// change a report or a trace, byte for byte.
+//
+
+struct FleetRun
+{
+    std::string reportJson;
+    std::string fleetTrace;
+};
+
+FleetRun
+runShareNothingFleet(int threads)
+{
+    const Population pop = makePopulation(14, 60.0);
+    TrafficSpec traffic;
+    traffic.scenario = Scenario::FlashCrowd;
+    traffic.durationSec = 4.0;
+    traffic.flashAtSec = 2.0;
+    traffic.flashRampSec = 0.5;
+    traffic.flashHoldSec = 1.0;
+    traffic.flashFunctions = 4;
+    traffic.flashRpsPerFunction = 15.0;
+    FleetRunConfig config;
+    config.policy.keepAliveTtl = 300_ms;
+    config.policy.reactiveRebalance = true;
+    config.policy.predictivePrewarm = true;
+    config.policy.prewarmRateRps = 2.0;
+    config.simThreads = threads;
+
+    platform::Cluster cluster = makeCluster(4);
+    EXPECT_TRUE(cluster.shareNothing());
+    const FleetReport report =
+        FleetDriver(cluster, pop).run(traffic, config);
+    EXPECT_GT(report.requests, 0u);
+
+    FleetRun out;
+    std::ostringstream rep, trace;
+    report.writeJson(rep);
+    cluster.exportFleetTrace(trace);
+    out.reportJson = rep.str();
+    out.fleetTrace = trace.str();
+    return out;
+}
+
+TEST(FleetDriverTest, ThreadCountDoesNotChangeReportOrTrace)
+{
+    const FleetRun one = runShareNothingFleet(1);
+    const FleetRun two = runShareNothingFleet(2);
+    const FleetRun eight = runShareNothingFleet(8);
+    // Byte-identical across 1, 2 and 8 workers: routing and report
+    // folds run in stream order off the workers, per-machine serving
+    // is share-nothing, and trace ids are pinned to tape positions.
+    EXPECT_EQ(one.reportJson, two.reportJson);
+    EXPECT_EQ(one.reportJson, eight.reportJson);
+    EXPECT_EQ(one.fleetTrace, two.fleetTrace);
+    EXPECT_EQ(one.fleetTrace, eight.fleetTrace);
+}
+
+TEST(FleetDriverTest, CoupledFleetIsDeterministicForAnyThreadCount)
+{
+    // remote-sfork couples machines mid-boot, so the driver must
+    // refuse to fan out and replay sequentially whatever simThreads
+    // says — same tape, same bytes.
+    auto run = [](int threads) {
+        const Population pop = makePopulation(10, 50.0);
+        TrafficSpec traffic;
+        traffic.durationSec = 3.0;
+        FleetRunConfig config;
+        config.policy.keepAliveTtl = 300_ms;
+        config.simThreads = threads;
+
+        net::FabricConfig fabric;
+        fabric.modelTransfers = true;
+        fabric.remoteFork = true;
+        platform::PlatformConfig pconf;
+        pconf.strategy = platform::BootStrategy::CatalyzerAuto;
+        pconf.reuseIdleInstances = true;
+        platform::Cluster cluster(
+            2, platform::PlacementPolicy::NetworkAware, pconf, {},
+            sim::CostModel{}, 42, fabric);
+        EXPECT_FALSE(cluster.shareNothing());
+        const FleetReport report =
+            FleetDriver(cluster, pop).run(traffic, config);
+        std::ostringstream rep, trace;
+        report.writeJson(rep);
+        cluster.exportFleetTrace(trace);
+        return rep.str() + trace.str();
+    };
+    EXPECT_EQ(run(1), run(8));
+}
+
+TEST(FleetDriverTest, SimThreadsZeroReadsEnvironmentKnob)
+{
+    // The default (0) resolves through CATALYZER_SIM_THREADS and must
+    // match an explicit thread count bit for bit.
+    ::setenv("CATALYZER_SIM_THREADS", "3", 1);
+    const FleetRun env_run = runShareNothingFleet(0);
+    ::unsetenv("CATALYZER_SIM_THREADS");
+    const FleetRun explicit_run = runShareNothingFleet(3);
+    EXPECT_EQ(env_run.reportJson, explicit_run.reportJson);
+    EXPECT_EQ(env_run.fleetTrace, explicit_run.fleetTrace);
 }
 
 } // namespace

@@ -217,6 +217,91 @@ TEST(WindowedHistogramTest, MergeFoldsPerWindow)
     EXPECT_DEATH(clash.merge(a), "window length");
 }
 
+TEST(WindowedHistogramTest, OriginMakesWindowsRunRelative)
+{
+    // Two machines whose clocks diverged during priming: with origins
+    // declared at each machine's run start, the same run-relative
+    // instant lands in the same window index on both.
+    WindowedHistogram m0(SimTime::milliseconds(100.0));
+    WindowedHistogram m1(SimTime::milliseconds(100.0));
+    m0.setOrigin(SimTime::milliseconds(730.0));
+    m1.setOrigin(SimTime::milliseconds(112.0));
+    EXPECT_TRUE(m0.originAligned());
+    m0.record(SimTime::milliseconds(730.0 + 150.0), 1.0);
+    m1.record(SimTime::milliseconds(112.0 + 150.0), 2.0);
+    m0.merge(m1);
+    const auto &ws = m0.windows();
+    ASSERT_EQ(ws.size(), 1u);
+    EXPECT_EQ(ws[0].index, 1);
+    EXPECT_EQ(ws[0].series.count(), 2u);
+}
+
+TEST(WindowedHistogramDeathTest, OriginMisuse)
+{
+    // Mixing an aligned series with an unaligned one would silently
+    // misalign every window: refuse.
+    WindowedHistogram aligned(SimTime::milliseconds(100.0));
+    aligned.setOrigin(SimTime::milliseconds(500.0));
+    aligned.record(SimTime::milliseconds(510.0), 1.0);
+    WindowedHistogram unaligned(SimTime::milliseconds(100.0));
+    unaligned.record(SimTime::milliseconds(10.0), 1.0);
+    EXPECT_DEATH(aligned.merge(unaligned), "unaligned");
+    EXPECT_DEATH(unaligned.merge(aligned), "unaligned");
+
+    // Declaring an origin under recorded samples would reinterpret
+    // their indices.
+    WindowedHistogram late(SimTime::milliseconds(100.0));
+    late.record(SimTime::milliseconds(10.0), 1.0);
+    EXPECT_DEATH(late.setOrigin(SimTime::milliseconds(5.0)),
+                 "already recorded");
+
+    // Samples from before the declared origin have no window.
+    WindowedHistogram fresh(SimTime::milliseconds(100.0));
+    fresh.setOrigin(SimTime::milliseconds(500.0));
+    EXPECT_DEATH(fresh.record(SimTime::milliseconds(499.0), 1.0),
+                 "predates");
+}
+
+TEST(WindowedHistogramTest, EmptyDestinationAdoptsAlignment)
+{
+    WindowedHistogram aligned(SimTime::milliseconds(100.0));
+    aligned.setOrigin(SimTime::milliseconds(500.0));
+    aligned.record(SimTime::milliseconds(510.0), 1.0);
+    // A fleet-aggregation destination starts fresh and unaligned; the
+    // first aligned source switches it over wholesale.
+    WindowedHistogram fleet;
+    fleet.merge(aligned);
+    EXPECT_TRUE(fleet.originAligned());
+    EXPECT_EQ(fleet.totalCount(), 1u);
+    // An explicitly aligned (still empty) destination does NOT adopt
+    // unaligned semantics from its source.
+    WindowedHistogram pinned(SimTime::milliseconds(100.0));
+    pinned.setOrigin(SimTime::zero());
+    WindowedHistogram unaligned(SimTime::milliseconds(100.0));
+    unaligned.record(SimTime::milliseconds(10.0), 1.0);
+    EXPECT_DEATH(pinned.merge(unaligned), "unaligned");
+}
+
+TEST(StatRegistryTest, WindowOriginAppliesToNewSeriesAndDropsOld)
+{
+    StatRegistry stats;
+    stats.setWindowLength(SimTime::milliseconds(100.0));
+    // Priming samples land before the measurement frame opens...
+    stats.observeWindowed("w", SimTime::milliseconds(50.0), 1.0);
+    EXPECT_FALSE(stats.windowOriginAligned());
+    // ...and are dropped when the origin is declared: the origin marks
+    // the start of the measurement frame.
+    stats.setWindowOrigin(SimTime::milliseconds(300.0));
+    EXPECT_TRUE(stats.windowOriginAligned());
+    EXPECT_EQ(stats.findWindowed("w"), nullptr);
+    stats.observeWindowed("w", SimTime::milliseconds(450.0), 2.0);
+    const WindowedHistogram *w = stats.findWindowed("w");
+    ASSERT_NE(w, nullptr);
+    EXPECT_TRUE(w->originAligned());
+    ASSERT_EQ(w->windows().size(), 1u);
+    EXPECT_EQ(w->windows()[0].index, 1); // (450 - 300) / 100
+}
+
 TEST(StatRegistryTest, WindowedSeriesAndTimeSeriesJson)
 {
     StatRegistry stats;

@@ -118,5 +118,65 @@ TEST(VirtualClockTest, ResetReturnsToZero)
     EXPECT_EQ(clock.now(), SimTime::zero());
 }
 
+TEST(StopwatchDeathTest, ElapsedPanicsWhenClockMovesBehindStart)
+{
+    // reset() between construction and read used to silently
+    // underflow elapsed() into a ~292-year span.
+    VirtualClock clock;
+    clock.advance(5_ms);
+    Stopwatch watch(clock);
+    clock.reset();
+    EXPECT_DEATH((void)watch.elapsed(), "clock moved behind start");
+}
+
+TEST(StopwatchTest, SurvivesResetWhenRearmedAfterwards)
+{
+    VirtualClock clock;
+    clock.advance(5_ms);
+    Stopwatch watch(clock);
+    clock.reset();
+    watch.restart(); // new timeline, new start: fine again
+    clock.advance(3_ms);
+    EXPECT_DOUBLE_EQ(watch.elapsed().toMs(), 3.0);
+}
+
+TEST(SimTimeDeathTest, IntegralMultiplyOverflowPanics)
+{
+    // A fleet-scale page-batch count against a large per-item cost
+    // used to wrap the virtual clock silently.
+    const SimTime big = SimTime::seconds(4.0e9); // ~4e18 ns
+    EXPECT_DEATH((void)(big * std::int64_t{3}), "overflows");
+    EXPECT_DEATH((void)(big * -3), "overflows");
+}
+
+TEST(SimTimeDeathTest, DoubleMultiplyOverflowPanics)
+{
+    const SimTime big = SimTime::seconds(4.0e9);
+    EXPECT_DEATH((void)(big * 3.0), "overflows");
+    EXPECT_DEATH((void)(3.0 * big), "overflows");
+}
+
+TEST(SimTimeTest, MultiplyStaysExactForIntegralCounts)
+{
+    // 2^53 + 1 is not representable as a double: the integral overload
+    // must carry counts past the double mantissa exactly.
+    const std::int64_t count = (std::int64_t{1} << 53) + 1;
+    EXPECT_EQ((1_ns * count).toNs(), count);
+    EXPECT_EQ((1_ns * -count).toNs(), -count);
+    // In-range multiplies keep working on both paths.
+    EXPECT_EQ((2_ms * 4).toNs(), 8'000'000);
+    EXPECT_EQ((2_ms * 4.0).toNs(), 8'000'000);
+}
+
+TEST(VirtualClockDeathTest, AdvanceParallelOverflowPanics)
+{
+    // per_item * ceil(count/workers) flows through the checked
+    // multiply: overflow panics instead of wrapping now_.
+    VirtualClock clock;
+    EXPECT_DEATH(clock.advanceParallel(SimTime::seconds(4.0e9),
+                                       1'000'000, 1),
+                 "overflows");
+}
+
 } // namespace
 } // namespace catalyzer::sim
