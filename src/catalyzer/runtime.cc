@@ -28,6 +28,7 @@ CatalyzerRuntime::CatalyzerRuntime(sandbox::Machine &machine,
 {
     zygotes_.setFaultInjector(&injector_);
     images_.setFaultInjector(&injector_);
+    images_.configureChunks(options_.chunkedImages);
     if (options_.useZygote && options_.zygotePrewarm > 0)
         zygotes_.prewarm(options_.zygotePrewarm);
 }

@@ -75,6 +75,14 @@ struct CatalyzerOptions
      *  rebuilt from a fresh checkpoint. */
     bool verifyImages = false;
     /**
+     * Content-addressed image store (snapshot/chunk_store.h): cut
+     * published images into content-defined chunks and fetch through
+     * the RAM -> SSD -> peer -> origin tier ladder. Disabled by
+     * default, which keeps remote fetches bit-identical to the flat
+     * whole-image model.
+     */
+    snapshot::ChunkStoreConfig chunkedImages;
+    /**
      * Working-set prefetch (REAP-style extension, src/prefetch/).
      * recordWorkingSet captures the page-fault trace of each restore's
      * restore-to-first-response window into a per-function manifest
@@ -182,6 +190,7 @@ class CatalyzerRuntime
 
     ZygotePool &zygotes() { return zygotes_; }
     snapshot::ImageStore &images() { return images_; }
+    const snapshot::ImageStore &images() const { return images_; }
     const CatalyzerOptions &options() const { return options_; }
     sandbox::Machine &machine() { return machine_; }
 

@@ -131,11 +131,18 @@ FleetAutoscaler::pressurePass()
         const std::size_t resident = residentBytes(m);
         if (resident > high_water) {
             // Shed in cost order: idle keep-alive instances first (the
-            // cheapest to rebuild), then halve the template budget so
-            // the next rebalance drops the coldest templates.
+            // cheapest to rebuild), then the image store's RAM tier
+            // (chunks demote to SSD, so refetches stay local), then
+            // halve the template budget so the next rebalance drops
+            // the coldest templates.
             counters_.pressureEvictions +=
                 cluster_.platform(m).expireIdle(
                     sim::SimTime::milliseconds(1.0));
+            counters_.pressureImageDemotedBytes +=
+                cluster_.platform(m)
+                    .catalyzer()
+                    .images()
+                    .relieveMemoryPressure();
             const std::size_t floor =
                 config_.perMachine.templateMemoryBudgetBytes / 4;
             if (config_.reactiveRebalance &&

@@ -86,6 +86,8 @@ struct FleetPolicyCounters
     std::size_t keepAliveExpired = 0;
     std::size_t pressureEvictions = 0;
     std::size_t pressureBudgetShrinks = 0;
+    /** Image-store RAM-tier bytes demoted to SSD under pressure. */
+    std::size_t pressureImageDemotedBytes = 0;
     std::size_t crossRackBuilds = 0;
 };
 

@@ -98,6 +98,52 @@ class ReplicaDirectory
 
     /** Node @p node no longer serves @p key (eviction, death). */
     virtual void dropReplica(const std::string &key, NodeId node) = 0;
+
+    /**
+     * Publish-side bookkeeping: @p node published @p generation of
+     * @p key. Returns the key's version stamp, which is bumped only
+     * when the same node republishes the key with a *different*
+     * generation — a rebuild replacing the stored image — so copies
+     * cached elsewhere under an older stamp become detectably stale.
+     * First-time publishes (every machine announcing its own build of
+     * the same function) never bump.
+     */
+    virtual std::uint64_t recordPublish(const std::string &key,
+                                        NodeId node,
+                                        std::uint64_t generation) = 0;
+
+    /** Current version stamp of @p key (0 = never published). */
+    virtual std::uint64_t keyVersion(const std::string &key) const = 0;
+};
+
+/** Content-addressed chunk id: a hash of the chunk's page contents. */
+using ChunkId = std::uint64_t;
+
+/**
+ * Cluster-wide directory of which machines hold which image chunks.
+ * Content addressing makes invalidation unnecessary — a rebuilt image
+ * produces different ids for the pages that changed — so the directory
+ * only ever tracks presence. Implemented by remote::TemplateRegistry;
+ * declared here so snapshot::ImageStore can consult it without
+ * depending on remote/.
+ */
+class ChunkDirectory
+{
+  public:
+    virtual ~ChunkDirectory() = default;
+
+    /**
+     * Closest node (same rack first, then lowest id) holding @p chunk,
+     * excluding @p from itself; nullopt when only origin has it.
+     */
+    virtual std::optional<NodeId>
+    nearestChunkHolder(ChunkId chunk, NodeId from) const = 0;
+
+    /** Node @p node now caches @p chunk. */
+    virtual void addChunkHolder(ChunkId chunk, NodeId node) = 0;
+
+    /** Node @p node dropped @p chunk from every local tier. */
+    virtual void dropChunkHolder(ChunkId chunk, NodeId node) = 0;
 };
 
 class Fabric;

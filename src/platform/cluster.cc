@@ -25,7 +25,8 @@ Cluster::Cluster(std::size_t machines, PlacementPolicy policy,
                  PlatformConfig config, core::CatalyzerOptions options,
                  sim::CostModel costs, std::uint64_t seed,
                  net::FabricConfig fabric_config)
-    : policy_(policy), fabric_(fabric_config), registry_(&fabric_)
+    : policy_(policy), fabric_(fabric_config), registry_(&fabric_),
+      chunked_images_(options.chunkedImages.enabled)
 {
     if (machines == 0)
         sim::fatal("Cluster: need at least one machine");
@@ -41,10 +42,16 @@ Cluster::Cluster(std::size_t machines, PlacementPolicy policy,
             *node.machine, config, options);
         // Image fetches ride the shared fabric (in flat-compat mode by
         // default, which charges exactly the legacy formula); replicas
-        // are tracked only when P2P fetch may use them.
+        // are tracked only when P2P fetch may use them, and the chunk
+        // directory only when content-addressed fetch is on.
         node.platform->catalyzer().images().attachFabric(
             &fabric_, static_cast<net::NodeId>(i),
-            fabric_config.p2pImages ? &registry_ : nullptr);
+            fabric_config.p2pImages || options.chunkedImages.enabled
+                ? &registry_
+                : nullptr,
+            options.chunkedImages.enabled
+                ? static_cast<net::ChunkDirectory *>(&registry_)
+                : nullptr);
         if (fabric_config.remoteFork) {
             remote::RemoteBootEnv env;
             env.fabric = &fabric_;
@@ -211,7 +218,10 @@ Cluster::instanceLoads() const
 bool
 Cluster::shareNothing() const
 {
-    return !fabric_.config().remoteFork && !fabric_.config().p2pImages;
+    // Chunked image fetches consult the shared chunk directory
+    // mid-request, so such fleets are coupled like P2P ones.
+    return !fabric_.config().remoteFork && !fabric_.config().p2pImages &&
+           !chunked_images_;
 }
 
 void

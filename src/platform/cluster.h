@@ -203,6 +203,8 @@ class Cluster
     /** Declared before nodes_: platforms hold pointers into both. */
     net::Fabric fabric_;
     remote::TemplateRegistry registry_;
+    /** Content-addressed image fetch is on (couples the fleet). */
+    bool chunked_images_ = false;
     std::vector<Node> nodes_;
     std::size_t next_rr_ = 0;
     /** Serializes mergeStats/exportFleetTrace against each other. */

@@ -451,6 +451,10 @@ ServerlessPlatform::residentBytes() const
             bytes += entry.instance->rssBytes();
     }
     bytes += runtime_.templateMemoryBytes();
+    // Cached func-images (chunk tiers + locally cached image files)
+    // compete with templates for machine memory; zero unless the
+    // remote-image store is in use.
+    bytes += runtime_.images().residentBytes();
     return bytes;
 }
 
@@ -476,6 +480,10 @@ ServerlessPlatform::reclaimFunctionMemory(const std::string &function_name)
         bytes += fn->sharedBase->residentBytes();
         fn->sharedBase.reset();
     }
+    // Drop the image store's local copies first: on the publishing
+    // machine they alias fn->separatedImage's file, so reclaiming here
+    // keeps the byte accounting below from double-counting.
+    bytes += runtime_.images().reclaimFunction(function_name);
     if (fn->separatedImage) {
         bytes += mem::bytesForPages(
             fn->separatedImage->file().residentPages());

@@ -99,4 +99,61 @@ TemplateRegistry::replicaCount(const std::string &key) const
     return it == replicas_.end() ? 0 : it->second.size();
 }
 
+std::uint64_t
+TemplateRegistry::recordPublish(const std::string &key, net::NodeId node,
+                                std::uint64_t generation)
+{
+    KeyPublishState &state = publishes_[key];
+    auto it = state.generations.find(node);
+    // Only a *republish* from the same node with a new generation bumps
+    // the version: that is a rebuild replacing the stored bytes, and
+    // copies cached under the old stamp are now stale. Every machine
+    // announcing its own first build of a function does not.
+    if (it != state.generations.end() && it->second != generation)
+        ++state.version;
+    state.generations[node] = generation;
+    return state.version;
+}
+
+std::uint64_t
+TemplateRegistry::keyVersion(const std::string &key) const
+{
+    auto it = publishes_.find(key);
+    return it == publishes_.end() ? 0 : it->second.version;
+}
+
+std::optional<net::NodeId>
+TemplateRegistry::nearestChunkHolder(net::ChunkId chunk,
+                                     net::NodeId from) const
+{
+    auto it = chunks_.find(chunk);
+    if (it == chunks_.end())
+        return std::nullopt;
+    return nearest(it->second, from);
+}
+
+void
+TemplateRegistry::addChunkHolder(net::ChunkId chunk, net::NodeId node)
+{
+    chunks_[chunk].insert(node);
+}
+
+void
+TemplateRegistry::dropChunkHolder(net::ChunkId chunk, net::NodeId node)
+{
+    auto it = chunks_.find(chunk);
+    if (it != chunks_.end()) {
+        it->second.erase(node);
+        if (it->second.empty())
+            chunks_.erase(it);
+    }
+}
+
+std::size_t
+TemplateRegistry::chunkHolderCount(net::ChunkId chunk) const
+{
+    auto it = chunks_.find(chunk);
+    return it == chunks_.end() ? 0 : it->second.size();
+}
+
 } // namespace catalyzer::remote

@@ -30,8 +30,10 @@
 
 namespace catalyzer::remote {
 
-/** Where templates and image replicas live across the fleet. */
-class TemplateRegistry : public net::ReplicaDirectory
+/** Where templates, image replicas and image chunks live across the
+ *  fleet. */
+class TemplateRegistry : public net::ReplicaDirectory,
+                         public net::ChunkDirectory
 {
   public:
     /** @p fabric supplies rack topology for nearest-first selection;
@@ -67,10 +69,30 @@ class TemplateRegistry : public net::ReplicaDirectory
                    net::NodeId from) const override;
     void addReplica(const std::string &key, net::NodeId node) override;
     void dropReplica(const std::string &key, net::NodeId node) override;
+    std::uint64_t recordPublish(const std::string &key, net::NodeId node,
+                                std::uint64_t generation) override;
+    std::uint64_t keyVersion(const std::string &key) const override;
 
     std::size_t replicaCount(const std::string &key) const;
 
+    // net::ChunkDirectory — content-addressed chunk tracking.
+    std::optional<net::NodeId>
+    nearestChunkHolder(net::ChunkId chunk,
+                       net::NodeId from) const override;
+    void addChunkHolder(net::ChunkId chunk, net::NodeId node) override;
+    void dropChunkHolder(net::ChunkId chunk, net::NodeId node) override;
+
+    std::size_t chunkHolderCount(net::ChunkId chunk) const;
+    std::size_t trackedChunkCount() const { return chunks_.size(); }
+
   private:
+    /** Publish history of one blob key (see recordPublish). */
+    struct KeyPublishState
+    {
+        std::map<net::NodeId, std::uint64_t> generations;
+        std::uint64_t version = 1;
+    };
+
     /** Nearest member of @p nodes to @p from, excluding @p from. */
     std::optional<net::NodeId>
     nearest(const std::set<net::NodeId> &nodes, net::NodeId from) const;
@@ -78,6 +100,8 @@ class TemplateRegistry : public net::ReplicaDirectory
     const net::Fabric *fabric_;
     std::map<std::string, std::set<net::NodeId>> templates_;
     std::map<std::string, std::set<net::NodeId>> replicas_;
+    std::map<std::string, KeyPublishState> publishes_;
+    std::map<net::ChunkId, std::set<net::NodeId>> chunks_;
 };
 
 /**

@@ -146,6 +146,33 @@ struct CostModel
     SimTime netPagePullBatchSetup = 15_us;
 
     //
+    // Content-addressed image store (snapshot/chunk_store.h). Images are
+    // cut into content-defined chunks by a rolling hash over per-page
+    // fingerprints; a chunk missing from every local tier is fetched
+    // from a peer (netStreamPerMiB) or origin (netOriginStreamPerMiB).
+    // The local tiers below RAM model a dedicated NVMe cache partition:
+    // faster than the per-fault cold path (demandFaultFileCold) because
+    // chunk reads are large and sequential, slower than memory.
+    //
+    /** Smallest allowed chunk, pages (cut points below this are ignored). */
+    std::size_t chunkMinPages = 8;
+    /** Target average chunk length, pages (power of two: the rolling
+     *  hash cuts when its low log2(avg) bits match). */
+    std::size_t chunkAvgPages = 32;
+    /** Forced cut at this length, pages (bounds worst-case transfer). */
+    std::size_t chunkMaxPages = 128;
+    /** Fingerprint + rolling-hash work per image page when chunking. */
+    SimTime chunkHashPerPage = 150_ns;
+    /** One cluster chunk-directory consultation (batched per fetch). */
+    SimTime chunkDirectoryLookup = 8_us;
+    /** Copy one MiB of RAM-tier cached chunks into an image mapping. */
+    SimTime ramCacheStreamPerMiB = 110_us;
+    /** Per-read setup of the local NVMe chunk-cache partition. */
+    SimTime ssdCacheReadSetup = 25_us;
+    /** Sequential NVMe streaming of one MiB from the chunk cache. */
+    SimTime ssdCacheStreamPerMiB = 400_us;
+
+    //
     // Working-set prefetch (prefetch/), REAP-style batched restore
     // reads. A batch is one readahead submission covering up to
     // prefetchBatchPages image pages, so the SSD serves a large

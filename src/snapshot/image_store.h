@@ -11,6 +11,16 @@
  * Images can also be integrity-checked before use: validation walks the
  * manifest checksums (charged per page) and a corrupted image is
  * rejected so the platform can fall back to a fresh boot and republish.
+ *
+ * With chunking enabled (ChunkStoreConfig::enabled, off by default) the
+ * store becomes content-addressed: published images are cut into
+ * content-defined chunks (chunk_store.h), and a fetch walks the tier
+ * ladder RAM -> local SSD -> peer machine -> origin per chunk, paying
+ * only for the chunks missing from every local tier. Cross-image
+ * redundancy (the shared language runtime, shared libraries) then
+ * makes a second same-language function nearly free to fetch. The
+ * default keeps the whole-image path bit-identical to the flat
+ * per-MiB model.
  */
 
 #ifndef CATALYZER_SNAPSHOT_IMAGE_STORE_H
@@ -20,10 +30,13 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "faults/fault_injector.h"
 #include "net/fabric.h"
 #include "prefetch/working_set_manifest.h"
 #include "sim/context.h"
+#include "snapshot/chunk_store.h"
 #include "snapshot/func_image.h"
 
 namespace catalyzer::snapshot {
@@ -68,6 +81,41 @@ class ImageStore
     std::size_t publishedCount() const { return remote_.size(); }
     std::size_t localCount() const { return local_.size(); }
 
+    /** Turn on / tune content-addressed chunking (see chunk_store.h).
+     *  Call before the first publish. */
+    void configureChunks(const ChunkStoreConfig &config)
+    {
+        chunk_config_ = config;
+        chunk_cache_.configure(config.ramBudgetBytes,
+                               config.ssdBudgetBytes);
+    }
+
+    const ChunkStoreConfig &chunkConfig() const { return chunk_config_; }
+    const TieredChunkCache &chunkCache() const { return chunk_cache_; }
+
+    /**
+     * Bytes of machine RAM this store holds: the chunk cache's RAM
+     * tier plus the page-cache residency of locally cached images.
+     * Counted into ServerlessPlatform::residentBytes so cached images
+     * compete with templates and keep-alive instances for the memory
+     * budget.
+     */
+    std::size_t residentBytes() const;
+
+    /**
+     * Drop every local copy (any format) of @p function_name and evict
+     * its image files from the page cache; returns the bytes released.
+     * Shared chunks stay cached — other functions still dedup against
+     * them; relieveMemoryPressure() is the lever for those.
+     */
+    std::size_t reclaimFunction(const std::string &function_name);
+
+    /**
+     * Memory-pressure hook (autoscaler): demote every RAM-tier chunk
+     * to the SSD tier. Returns the bytes moved out of RAM.
+     */
+    std::size_t relieveMemoryPressure();
+
     /**
      * Store a function's working-set manifest alongside its func-image
      * (serialized form; replaces any previous one). Publication is
@@ -109,11 +157,13 @@ class ImageStore
      * per-MiB cost bit-identically.
      */
     void attachFabric(net::Fabric *fabric, net::NodeId self,
-                      net::ReplicaDirectory *replicas = nullptr)
+                      net::ReplicaDirectory *replicas = nullptr,
+                      net::ChunkDirectory *chunks = nullptr)
     {
         fabric_ = fabric;
         self_ = self;
         replicas_ = replicas;
+        chunks_ = chunks;
     }
 
   private:
@@ -126,10 +176,26 @@ class ImageStore
     void transferImage(const std::string &k, const FuncImage &image,
                        trace::TraceContext trace);
 
+    /** Content-addressed transfer: only chunks missing from every
+     *  local tier cross the network. */
+    void transferChunks(const std::string &k, const FuncImage &image,
+                        trace::TraceContext trace);
+
+    /** The image's chunk list, computed once per key+generation. */
+    const std::vector<ImageChunk> &
+    chunkManifestFor(const std::string &k, const FuncImage &image);
+
+    /** Fold a cache reshuffle into counters + the chunk directory. */
+    void applyCacheResult(const TieredChunkCache::Result &result);
+
+    /** True when the cluster replaced this key since we cached it. */
+    bool staleLocal(const std::string &k) const;
+
     sim::SimContext &ctx_;
     faults::FaultInjector *injector_ = nullptr;
     net::Fabric *fabric_ = nullptr;
     net::ReplicaDirectory *replicas_ = nullptr;
+    net::ChunkDirectory *chunks_ = nullptr;
     net::NodeId self_ = 0;
     /** Flat-compat fabric used when no cluster fabric is attached. */
     std::unique_ptr<net::Fabric> own_fabric_;
@@ -137,6 +203,14 @@ class ImageStore
     std::map<std::string, std::shared_ptr<FuncImage>> local_;
     /** Serialized working-set manifests, keyed by function name. */
     std::map<std::string, std::string> manifests_;
+    ChunkStoreConfig chunk_config_;
+    TieredChunkCache chunk_cache_;
+    /** Chunk lists of published images, keyed by key + generation. */
+    std::map<std::string,
+             std::pair<std::uint64_t, std::vector<ImageChunk>>>
+        chunk_manifests_;
+    /** Directory version stamp each local copy was cached under. */
+    std::map<std::string, std::uint64_t> local_stamp_;
 };
 
 /**

@@ -239,5 +239,112 @@ TEST(ImageStoreTest, RebuildUnderRemoteImagesPaysRefetch)
     EXPECT_TRUE(second.instance->guest().state().checkIntegrity());
 }
 
+TEST(ImageStoreTest, ChunkedEvictThenRefetchRepaysAssemblyNotNetwork)
+{
+    // Evicting the assembled image drops the local copy, not the chunk
+    // tiers: the refetch is a real fetch again (charged, counted) but
+    // every chunk comes out of RAM, so no new bytes cross the network.
+    Machine machine(11);
+    FunctionRegistry registry(machine);
+    ImageStore store(machine.ctx());
+    store.publish(buildImage(registry, "python-django"));
+    store.evictLocal("python-django", ImageFormat::SeparatedWellFormed);
+    ChunkStoreConfig config;
+    config.enabled = true;
+    // Hold the whole ~81 MiB image in the RAM tier so the refetch hits
+    // memory, not the SSD spillover.
+    config.ramBudgetBytes = 256u << 20;
+    store.configureChunks(config);
+    auto &stats = machine.ctx().stats();
+
+    store.fetch("python-django", ImageFormat::SeparatedWellFormed);
+    const auto transferred =
+        stats.value("image.chunks.bytes_transferred");
+    EXPECT_GT(transferred, 0);
+
+    store.evictLocal("python-django", ImageFormat::SeparatedWellFormed);
+    EXPECT_EQ(stats.value("image.evictions"), 2);
+    const auto before = machine.ctx().now();
+    store.fetch("python-django", ImageFormat::SeparatedWellFormed);
+    EXPECT_GT(machine.ctx().now(), before); // re-paid, not a free hit
+    EXPECT_EQ(stats.value("image.fetch.remote"), 2);
+    EXPECT_EQ(stats.value("image.chunks.bytes_transferred"),
+              transferred); // ...but nothing new crossed the network
+    EXPECT_GT(stats.value("image.chunks.ram_hits"), 0);
+}
+
+TEST(ImageStoreTest, RepublishInvalidatesStaleCopiesOnOtherMachines)
+{
+    // Machine 0 rebuilds and republishes a function; machine 1's cached
+    // copy of the old build must turn stale and refetch instead of
+    // serving the outdated image.
+    net::Fabric fabric;
+    remote::TemplateRegistry directory(&fabric);
+    Machine m0(7), m1(8);
+    FunctionRegistry f0(m0), f1(m1);
+    ImageStore s0(m0.ctx()), s1(m1.ctx());
+    s0.attachFabric(&fabric, 0, &directory);
+    s1.attachFabric(&fabric, 1, &directory);
+
+    s0.publish(buildImage(f0, "c-hello"));
+    s1.publish(buildImage(f1, "c-hello"));
+    s1.evictLocal("c-hello", ImageFormat::SeparatedWellFormed);
+    s1.fetch("c-hello", ImageFormat::SeparatedWellFormed);
+    EXPECT_EQ(m1.ctx().stats().value("snapshot.image_remote_fetches"),
+              1);
+
+    // Same-generation publishes from different machines (each machine
+    // announcing its own build) must NOT invalidate anything.
+    s1.fetch("c-hello", ImageFormat::SeparatedWellFormed);
+    EXPECT_EQ(m1.ctx().stats().value("image.fetch.stale_drops"), 0);
+
+    // Rebuild on machine 0: a new generation under the same key.
+    auto &artifacts = f0.artifactsFor(apps::appByName("c-hello"));
+    const auto old_generation = artifacts.separatedImage->generation();
+    artifacts.separatedImage.reset();
+    auto rebuilt = buildImage(f0, "c-hello");
+    ASSERT_NE(rebuilt->generation(), old_generation);
+    s0.publish(rebuilt);
+
+    // Machine 1's cached copy is now stale: the next fetch drops it
+    // and pays the transfer again.
+    s1.fetch("c-hello", ImageFormat::SeparatedWellFormed);
+    EXPECT_EQ(m1.ctx().stats().value("image.fetch.stale_drops"), 1);
+    EXPECT_EQ(m1.ctx().stats().value("snapshot.image_remote_fetches"),
+              2);
+}
+
+TEST(ImageStoreTest, CorruptManifestDropsBeforeRepublish)
+{
+    // A corrupted working-set manifest must be dropped on the failed
+    // read (so the next trace records fresh) and a republish must fully
+    // restore fetchability — the drop/republish order cannot leave a
+    // stale blob behind.
+    Machine machine(13);
+    ImageStore store(machine.ctx());
+    faults::FaultConfig config;
+    config.rate(faults::FaultSite::ManifestCorruption) = 1.0;
+    faults::FaultInjector injector(config, &machine.ctx().clock());
+    store.setFaultInjector(&injector);
+
+    prefetch::WorkingSetManifest manifest("c-hello", 1, 4, 0.5);
+    store.publishManifest(manifest);
+    EXPECT_TRUE(store.hasManifest("c-hello"));
+    EXPECT_EQ(store.fetchManifest("c-hello"), nullptr);
+    // Dropped on the corrupted read, before any republish.
+    EXPECT_FALSE(store.hasManifest("c-hello"));
+    EXPECT_EQ(machine.ctx().stats().value(
+                  "snapshot.manifests_corrupted"), 1);
+
+    // Republish under a new image generation; with the fault cleared
+    // the fresh blob must parse.
+    store.setFaultInjector(nullptr);
+    prefetch::WorkingSetManifest fresh("c-hello", 2, 4, 0.5);
+    store.publishManifest(fresh);
+    auto fetched = store.fetchManifest("c-hello");
+    ASSERT_NE(fetched, nullptr);
+    EXPECT_EQ(fetched->imageGeneration(), 2u);
+}
+
 } // namespace
 } // namespace catalyzer::snapshot

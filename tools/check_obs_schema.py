@@ -10,6 +10,8 @@ observability layer produces, run by CI right after the smoke benches:
   trace=FILE       Chrome trace_event document (exportChromeTrace /
                    Cluster::exportFleetTrace)
   fleet=FILE       fleet SLO/cost sweep (bench/fig_fleet_slo)
+  imagededup=FILE  chunk-dedup + tier-ladder report
+                   (bench/fig_image_dedup)
 
 Usage: check_obs_schema.py kind=path [kind=path ...]
 
@@ -276,8 +278,65 @@ def check_fleet(path, doc):
            "duplicate scenario/policy pairs in 'runs'")
 
 
+def check_imagededup(path, doc):
+    if not expect(isinstance(doc, dict), path, "root is not an object"):
+        return
+    config = doc.get("config")
+    if expect(isinstance(config, dict), path,
+              "'config' missing or not an object"):
+        for key in ("functions", "chunk_ram_budget_mib",
+                    "chunk_ssd_budget_mib"):
+            expect(is_num(config.get(key)) and config[key] > 0, path,
+                   f"config: {key!r} missing or not positive")
+    rows = doc.get("dedup")
+    if expect(isinstance(rows, list) and rows, path,
+              "'dedup' missing, not a list, or empty"):
+        seen = set()
+        for row in rows:
+            if not expect(isinstance(row, dict), path,
+                          "dedup row is not an object"):
+                continue
+            arch = row.get("archetype")
+            where = f"dedup row {arch!r}"
+            expect(isinstance(arch, str), path,
+                   f"{where}: archetype must be a string")
+            seen.add(arch)
+            expect(isinstance(row.get("functions"), int)
+                   and row["functions"] > 0, path,
+                   f"{where}: 'functions' missing or not a counter")
+            for key in ("whole_mib", "transferred_mib", "dedup_ratio"):
+                expect(is_num(row.get(key)) and row[key] > 0, path,
+                       f"{where}: {key!r} missing or not positive")
+            if is_num(row.get("whole_mib")) \
+                    and is_num(row.get("transferred_mib")):
+                expect(row["transferred_mib"] <= row["whole_mib"], path,
+                       f"{where}: transferred more than the "
+                       "whole-image bytes")
+        expect(len(seen) == len(rows), path,
+               "duplicate archetypes in 'dedup'")
+    total = doc.get("total")
+    if expect(isinstance(total, dict), path,
+              "'total' missing or not an object"):
+        for key in ("whole_mib", "transferred_mib", "dedup_ratio"):
+            expect(is_num(total.get(key)) and total[key] > 0, path,
+                   f"total: {key!r} missing or not positive")
+    ladder = doc.get("tier_ladder_ms")
+    if expect(isinstance(ladder, dict), path,
+              "'tier_ladder_ms' missing or not an object"):
+        for key in ("ram", "ssd", "peer", "origin"):
+            expect(is_num(ladder.get(key)) and ladder[key] > 0, path,
+                   f"tier_ladder_ms: {key!r} missing or not positive")
+        if all(is_num(ladder.get(k))
+               for k in ("ram", "ssd", "peer", "origin")):
+            expect(ladder["ram"] < ladder["ssd"] < ladder["peer"]
+                   < ladder["origin"], path,
+                   "tier ladder latencies are not strictly ordered "
+                   "ram < ssd < peer < origin")
+
+
 CHECKS = {"timeseries": check_timeseries, "slo": check_slo,
-          "trace": check_trace, "fleet": check_fleet}
+          "trace": check_trace, "fleet": check_fleet,
+          "imagededup": check_imagededup}
 
 
 def main(argv):
