@@ -22,6 +22,19 @@
  * and prints the span tree of the first Catalyzer cold boot plus a
  * boot-latency summary table. `trace_report --fleet` skips the
  * single-machine sweep and produces only the fleet artifacts.
+ *
+ * `trace_report --chain` drives the two canned stateful workflows
+ * (pipeline analytics + shopping-cart session) on a locality-aware
+ * cluster and exports the chain view:
+ *
+ *   - trace_report.chain.trace.json       chain-stage spans stitched
+ *                                         across machines by workflow
+ *                                         trace id
+ *   - trace_report.chain.metrics.json     statsSnapshot with the
+ *                                         per-machine state-region
+ *                                         residency block and chain.* /
+ *                                         state.* counters
+ *   - trace_report.chain.timeseries.json  includes win.chain.e2e_ms
  */
 
 #include <cstdio>
@@ -38,6 +51,8 @@
 #include "sim/table.h"
 #include "trace/export.h"
 #include "trace/trace.h"
+#include "workflow/scenarios.h"
+#include "workflow/workflow.h"
 
 using namespace catalyzer;
 
@@ -144,6 +159,109 @@ runFleet()
     return 0;
 }
 
+/**
+ * The chain view (stateful-serverless layer): a locality-aware cluster
+ * runs both canned workflow scenarios, so the export carries
+ * chain-stage spans stitched across machines by workflow trace id,
+ * the chain.* / state.* counters, the per-machine state-residency
+ * block in the metrics snapshot, and the win.chain.e2e_ms series.
+ */
+int
+runChain()
+{
+    net::FabricConfig fabric;
+    fabric.modelTransfers = true;
+    platform::Cluster cluster(
+        3, platform::PlacementPolicy::NetworkAware,
+        platform::PlatformConfig{platform::BootStrategy::CatalyzerAuto},
+        {}, sim::CostModel{}, 42, fabric);
+    for (const std::string &fn : workflow::scenarioFunctions()) {
+        const apps::AppProfile &app = apps::appByName(fn);
+        cluster.deploy(app);
+        cluster.prepareEverywhere(app);
+    }
+
+    workflow::WorkflowEngine engine(cluster);
+    std::size_t runs = 0;
+    sim::SimTime e2e;
+    for (int round = 0; round < 2; ++round) {
+        e2e += engine.run(workflow::pipelineAnalytics(3, 128)).e2e;
+        ++runs;
+        e2e += engine
+                   .run(workflow::shoppingCartSession(
+                       2, 32, "s" + std::to_string(round)))
+                   .e2e;
+        ++runs;
+    }
+    // One locality-blind run scatters its stages, so the export also
+    // shows a chain stitched across machine lanes (remote hops, a
+    // region streamed over the fabric).
+    workflow::WorkflowEngine blind(cluster,
+                                   workflow::WorkflowOptions{false});
+    e2e += blind.run(workflow::shoppingCartSession(2, 32, "s2")).e2e;
+    ++runs;
+
+    // How many workflow traces actually crossed machines.
+    std::map<trace::TraceId, std::set<std::uint32_t>> lanes;
+    for (std::size_t m = 0; m < cluster.machineCount(); ++m) {
+        for (const trace::Span &s :
+             cluster.machine(m).tracer().snapshot()) {
+            if (s.traceId != 0)
+                lanes[s.traceId].insert(s.machine);
+        }
+    }
+    std::size_t stitched = 0;
+    for (const auto &[id, machines] : lanes)
+        stitched += machines.size() > 1 ? 1 : 0;
+
+    {
+        std::ofstream os("trace_report.chain.trace.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write chain trace\n");
+            return 1;
+        }
+        cluster.exportFleetTrace(os);
+        std::printf("wrote trace_report.chain.trace.json "
+                    "(%zu traces, %zu stitched across machines)\n",
+                    lanes.size(), stitched);
+    }
+    {
+        std::ofstream os("trace_report.chain.metrics.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write chain metrics\n");
+            return 1;
+        }
+        cluster.statsSnapshot(os);
+        std::printf("wrote trace_report.chain.metrics.json\n");
+    }
+    {
+        std::ofstream os("trace_report.chain.timeseries.json");
+        if (!os) {
+            std::fprintf(stderr,
+                         "trace_report: cannot write chain series\n");
+            return 1;
+        }
+        cluster.writeTimeSeriesJson(os);
+        std::printf("wrote trace_report.chain.timeseries.json\n");
+    }
+
+    sim::StatRegistry merged;
+    cluster.mergeStats(merged);
+    std::size_t resident = 0;
+    for (std::size_t m = 0; m < cluster.machineCount(); ++m)
+        resident += cluster.stateResidentBytes(m);
+    std::printf("(%zu workflows, mean e2e %.3f ms, %lld local + %lld "
+                "remote hops, %lld state publishes, %.0f KiB resident)\n",
+                runs, e2e.toMs() / static_cast<double>(runs),
+                static_cast<long long>(merged.value("chain.hops_local")),
+                static_cast<long long>(merged.value("chain.hops_remote")),
+                static_cast<long long>(merged.value("state.publishes")),
+                static_cast<double>(resident) / 1024.0);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -151,14 +269,19 @@ main(int argc, char **argv)
 {
     const bool fleet_only =
         argc > 1 && std::strcmp(argv[1], "--fleet") == 0;
+    const bool chain_only =
+        argc > 1 && std::strcmp(argv[1], "--chain") == 0;
     bench::banner("trace_report",
-                  fleet_only
+                  chain_only
+                      ? "Chain-stitched workflow traces + state-region "
+                        "metrics (stateful-serverless layer demo)"
+                  : fleet_only
                       ? "Fleet-stitched distributed traces + windowed "
                         "metrics (observability layer demo)"
                       : "Boot tracing + metrics across all boot paths "
                         "(observability layer demo)");
-    if (fleet_only) {
-        const int rc = runFleet();
+    if (fleet_only || chain_only) {
+        const int rc = fleet_only ? runFleet() : runChain();
         bench::footer();
         return rc;
     }

@@ -178,6 +178,31 @@ buildCatalog()
                             0.12));
     }
 
+    //
+    // Stateful-workflow stage handlers (fig_chain). Execution is
+    // deliberately light: the interesting cost of a chained stage is
+    // the hop into it and the state-region plumbing around it, not the
+    // handler body.
+    //
+    apps.push_back(make("wf-ingest", "WF-Ingest", Language::Python,
+                        Suite::Workflow, 10_ms, 80, 0.1_ms, 0.6_ms, 12,
+                        24, 6, 2, 1, 0.4_ms, 0.2));
+    apps.push_back(make("wf-transform", "WF-Transform", Language::Cpp,
+                        Suite::Workflow, 2_ms, 40, 0.05_ms, 0.4_ms, 6,
+                        16, 4, 1, 1, 0.8_ms, 0.25));
+    apps.push_back(make("wf-aggregate", "WF-Aggregate", Language::Python,
+                        Suite::Workflow, 10_ms, 110, 0.1_ms, 0.9_ms, 14,
+                        30, 6, 2, 1, 0.6_ms, 0.2));
+    apps.push_back(make("wf-cart-get", "WF-Cart-Get", Language::NodeJs,
+                        Suite::Workflow, 20_ms, 130, 0.1_ms, 0.5_ms, 22,
+                        36, 5, 2, 1, 0.2_ms, 0.15));
+    apps.push_back(make("wf-cart-update", "WF-Cart-Update",
+                        Language::NodeJs, Suite::Workflow, 20_ms, 140,
+                        0.1_ms, 0.6_ms, 22, 38, 5, 2, 1, 0.3_ms, 0.15));
+    apps.push_back(make("wf-checkout", "WF-Checkout", Language::Java,
+                        Suite::Workflow, 55_ms, 700, 0.042_ms, 3_ms, 20,
+                        55, 8, 3, 2, 0.9_ms, 0.2));
+
     setPointerDensity(apps);
     return apps;
 }

@@ -41,6 +41,7 @@ enum class Suite
     DeathStar,  ///< social-network microservices (Fig. 13a)
     Pillow,     ///< image processing (Fig. 13b)
     Ecommerce,  ///< Java business functions (Fig. 13c)
+    Workflow,   ///< stateful DAG stage handlers (fig_chain)
 };
 
 /** Full description of one serverless function. */

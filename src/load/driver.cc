@@ -91,6 +91,31 @@ FleetDriver::run(const TrafficSpec &traffic, const FleetRunConfig &config)
 
     const std::size_t machines = cluster_.machineCount();
 
+    // Workflow arrivals in the tape need their DAG specs; detect up
+    // front so both the priming pass and the replay mode can react.
+    bool has_workflows = false;
+    for (const FleetArrival &arrival : stream) {
+        if (arrival.workflow >= 0) {
+            has_workflows = true;
+            if (config.workflows.empty())
+                sim::fatal("FleetDriver: workflow arrivals in the tape "
+                           "but no workflow specs configured");
+        }
+    }
+    // Workflow stage functions prime alongside the population's
+    // (sorted + deduped, so the pinned prime-id sequence is a pure
+    // function of the config — and unchanged when workflows are off).
+    std::vector<std::string> wf_fns;
+    if (has_workflows) {
+        for (const workflow::WorkflowSpec &spec : config.workflows) {
+            for (const workflow::StageSpec &stage : spec.stages)
+                wf_fns.push_back(stage.function);
+        }
+        std::sort(wf_fns.begin(), wf_fns.end());
+        wf_fns.erase(std::unique(wf_fns.begin(), wf_fns.end()),
+                     wf_fns.end());
+    }
+
     if (config.primeImages) {
         trace::TraceId prime_id = kFleetPrimeTraceIdBase;
         for (std::size_t m = 0; m < machines; ++m) {
@@ -101,6 +126,10 @@ FleetDriver::run(const TrafficSpec &traffic, const FleetRunConfig &config)
                             trace::TraceContext(mach.tracer(),
                                                 mach.ctx().clock(), 0,
                                                 prime_id++));
+            for (const std::string &fn : wf_fns)
+                plat.invoke(fn, trace::TraceContext(mach.tracer(),
+                                                    mach.ctx().clock(), 0,
+                                                    prime_id++));
             // Drop the priming instances: the run starts with built
             // images but zero warm capacity under either policy.
             plat.expireIdle(sim::SimTime::milliseconds(0.001));
@@ -167,7 +196,13 @@ FleetDriver::run(const TrafficSpec &traffic, const FleetRunConfig &config)
                             ? config.simThreads
                             : sim::ParallelExecutor::threadsFromEnv(1);
     const sim::ParallelExecutor exec(threads);
-    const bool share_nothing = cluster_.shareNothing();
+    // A workflow stage may land on any machine and moves state regions
+    // across the fabric mid-request, so a workflow tape is coupled no
+    // matter what the fabric config says.
+    const bool share_nothing = cluster_.shareNothing() && !has_workflows;
+
+    workflow::WorkflowEngine engine(
+        cluster_, workflow::WorkflowOptions{config.workflowLocalityAware});
 
     // Per-arrival outcome slots, indexed by stream position.
     struct Outcome
@@ -176,6 +211,8 @@ FleetDriver::run(const TrafficSpec &traffic, const FleetRunConfig &config)
         sim::SimTime queued;
         std::size_t machine = 0;
         std::size_t expired = 0;
+        workflow::WorkflowResult wf;
+        bool isWorkflow = false;
     };
     std::vector<Outcome> outcomes(stream.size());
 
@@ -227,13 +264,45 @@ FleetDriver::run(const TrafficSpec &traffic, const FleetRunConfig &config)
             cluster_.invokeOn(target, fn.name, pinned).record;
     };
 
+    // Serve a workflow arrival: the DAG may start on any machine, so
+    // every clock aligns with the arrival first and the engine's
+    // run-relative frame opens exactly there. Trace id pinned like any
+    // other tape position.
+    auto serveWorkflow = [&](std::size_t i) {
+        const FleetArrival &arrival = stream[i];
+        Outcome &out = outcomes[i];
+        out.isWorkflow = true;
+        for (std::size_t m = 0; m < machines; ++m)
+            advanceMachineTo(m, arrival.atSec);
+        const workflow::WorkflowSpec &spec = config.workflows
+            [static_cast<std::size_t>(arrival.workflow) %
+             config.workflows.size()];
+        sandbox::Machine &m0 = cluster_.machine(0);
+        out.wf = engine.run(
+            spec,
+            trace::TraceContext(
+                m0.tracer(), m0.ctx().clock(), 0,
+                kFleetTraceIdBase + static_cast<trace::TraceId>(i)));
+    };
+
     // Stream-order fold of one served epoch: autoscaler bookkeeping
     // (commutative counters, consumed only at the next tick) and the
     // report accumulation.
     auto foldOne = [&](std::size_t i) {
         const FleetArrival &arrival = stream[i];
-        const FleetFunction &fn = population_.fn(arrival.fn);
         const Outcome &out = outcomes[i];
+        if (out.isWorkflow) {
+            // Workflows score on their own series: stage invocations
+            // are not caller-visible requests, and the autoscaler's
+            // per-function rate model has no row for a DAG.
+            ++report.workflowRuns;
+            report.chainHopsLocal += out.wf.hopsLocal;
+            report.chainHopsRemote += out.wf.hopsRemote;
+            report.chainTransferBytes += out.wf.transferBytes;
+            report.chainE2e.add(out.wf.e2e);
+            return;
+        }
+        const FleetFunction &fn = population_.fn(arrival.fn);
         scaler.observeArrival(arrival.fn, out.machine);
         scaler.afterInvoke(arrival.fn, out.machine, out.record);
         report.expired += out.expired;
@@ -312,6 +381,10 @@ FleetDriver::run(const TrafficSpec &traffic, const FleetRunConfig &config)
             // updates template holders mid-epoch, and NetworkAware
             // placement must see them.
             for (std::size_t i = pos; i < end_pos; ++i) {
+                if (stream[i].workflow >= 0) {
+                    serveWorkflow(i);
+                    continue;
+                }
                 const FleetFunction &fn = population_.fn(stream[i].fn);
                 outcomes[i].machine = cluster_.route(fn.name);
                 serveOne(i);
@@ -393,6 +466,15 @@ FleetReport::writeJson(std::ostream &os) const
        << ", \"pressure_budget_shrinks\": "
        << policy.pressureBudgetShrinks
        << ", \"cross_rack_builds\": " << policy.crossRackBuilds << "}";
+    if (workflowRuns > 0) {
+        os << ",\n\"workflows\": {\"runs\": " << workflowRuns
+           << ", \"hops_local\": " << chainHopsLocal
+           << ", \"hops_remote\": " << chainHopsRemote
+           << ", \"transfer_bytes\": " << chainTransferBytes
+           << ", \"chain_e2e_ms\": ";
+        writeSeries(os, chainE2e);
+        os << "}";
+    }
     const struct
     {
         const char *key;

@@ -22,6 +22,7 @@
 #include "load/fleet_policy.h"
 #include "load/traffic.h"
 #include "sim/stats.h"
+#include "workflow/workflow.h"
 
 namespace catalyzer::load {
 
@@ -57,6 +58,17 @@ struct FleetRunConfig
      * remote-sfork or P2P images replay sequentially regardless.
      */
     int simThreads = 0;
+    /**
+     * DAG workflows the tape's workflow arrivals cycle through (see
+     * TrafficSpec::workflowRps); empty fleets never consult this.
+     * Workflow stage functions must be deployed on the cluster by the
+     * caller (they are not part of the Population). A tape with
+     * workflow arrivals replays sequentially even on a share-nothing
+     * fleet: stages hop machines and move state regions mid-request.
+     */
+    std::vector<workflow::WorkflowSpec> workflows;
+    /** Placement hint for workflow stages (WorkflowOptions). */
+    bool workflowLocalityAware = true;
 };
 
 /** Aggregated results of one fleet run. */
@@ -89,6 +101,18 @@ struct FleetReport
     std::map<std::string, std::size_t> tenantRequests;
 
     FleetPolicyCounters policy;
+
+    //
+    // Stateful-workflow side stream (zero / empty without workflow
+    // arrivals; the JSON dump omits the block entirely then, keeping
+    // function-only dumps byte-identical to the pre-workflow engine).
+    //
+    std::size_t workflowRuns = 0;
+    std::size_t chainHopsLocal = 0;
+    std::size_t chainHopsRemote = 0;
+    std::size_t chainTransferBytes = 0;
+    /** Workflow end-to-end (critical path) latency. */
+    sim::LatencySeries chainE2e;
 
     //
     // Cost. Machine-seconds count each machine's virtual clock advance

@@ -292,7 +292,11 @@ FleetAutoscaler::ewmaRps(std::size_t fn_index) const
 std::size_t
 FleetAutoscaler::residentBytes(std::size_t machine) const
 {
-    return cluster_.platform(machine).residentBytes();
+    // Resident state regions compete with instances for machine RAM,
+    // so they join the same memory-pressure budget (zero on stateless
+    // fleets — the store is pay-for-use).
+    return cluster_.platform(machine).residentBytes() +
+           cluster_.stateResidentBytes(machine);
 }
 
 std::size_t

@@ -180,12 +180,35 @@ generateFleetStream(const Population &population, const TrafficSpec &spec)
                 FleetArrival{t, static_cast<std::uint32_t>(fn.index)});
     }
 
+    if (spec.workflowRps > 0.0) {
+        // The workflow side stream draws from its own generator (an
+        // index no function can use), so turning it on never perturbs
+        // any function sub-stream.
+        times.clear();
+        sim::Rng rng =
+            fnRng(spec.seed ^ 0xdab0ull, population.size() + (1ull << 32));
+        appendPoissonTimes(rng, spec.workflowRps, spec.durationSec,
+                           times);
+        for (double t : times)
+            merged.push_back(FleetArrival{t, 0xffffffffu, 0});
+    }
+
     std::sort(merged.begin(), merged.end(),
               [](const FleetArrival &a, const FleetArrival &b) {
                   if (a.atSec != b.atSec)
                       return a.atSec < b.atSec;
                   return a.fn < b.fn;
               });
+    // Round-robin the workflow kinds in time order, after the merge,
+    // so the k-th workflow arrival runs spec k mod kinds regardless of
+    // how the side stream interleaves with function traffic.
+    const std::size_t kinds = std::max<std::size_t>(1, spec.workflowKinds);
+    std::size_t next_kind = 0;
+    for (FleetArrival &arrival : merged) {
+        if (arrival.fn == 0xffffffffu)
+            arrival.workflow =
+                static_cast<std::int32_t>(next_kind++ % kinds);
+    }
     return merged;
 }
 

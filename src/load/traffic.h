@@ -71,6 +71,16 @@ struct TrafficSpec
     double churnEpochSec = 8.0;
     double churnActiveFraction = 0.25;
     double churnTrickleFraction = 0.02;
+
+    /**
+     * Stateful-workflow side stream: a Poisson process at workflowRps
+     * whose arrivals execute DAG workflows (FleetRunConfig::workflows)
+     * instead of single functions, cycling round-robin over
+     * workflowKinds specs in time order. Zero (the default) keeps the
+     * tape byte-identical to the function-only engine.
+     */
+    double workflowRps = 0.0;
+    std::size_t workflowKinds = 1;
 };
 
 /** One request in the merged fleet stream. */
@@ -78,6 +88,8 @@ struct FleetArrival
 {
     double atSec = 0.0;
     std::uint32_t fn = 0; ///< index into Population::functions()
+    /** >= 0: run FleetRunConfig::workflows[workflow] instead of fn. */
+    std::int32_t workflow = -1;
 };
 
 /**

@@ -112,6 +112,14 @@ std::size_t
 Cluster::pickFromLoads(const std::string &function_name,
                        const std::vector<std::size_t> &loads)
 {
+    return pickFromLoads(function_name, loads, {});
+}
+
+std::size_t
+Cluster::pickFromLoads(const std::string &function_name,
+                       const std::vector<std::size_t> &loads,
+                       const std::vector<std::size_t> &affinity_bytes)
+{
     if (loads.size() != nodes_.size())
         sim::panic("Cluster: %zu projected loads for %zu machines",
                    loads.size(), nodes_.size());
@@ -141,13 +149,32 @@ Cluster::pickFromLoads(const std::string &function_name,
                 best_load = loads[i];
             }
         }
+        // State gravity beats template gravity: streaming a resident
+        // region across the fabric dwarfs a remote sfork, so a machine
+        // already holding the stage's regions wins as long as it is
+        // within the load slack of the least-loaded machine.
+        constexpr std::size_t kLoadSlack = 4;
+        bool have_affine = false;
+        std::size_t abest = 0, abytes = 0;
+        for (std::size_t i = 0;
+             i < affinity_bytes.size() && i < nodes_.size(); ++i) {
+            if (affinity_bytes[i] == 0 ||
+                loads[i] > best_load + kLoadSlack)
+                continue;
+            if (!have_affine || affinity_bytes[i] > abytes) {
+                have_affine = true;
+                abest = i;
+                abytes = affinity_bytes[i];
+            }
+        }
+        if (have_affine)
+            return abest;
         const std::vector<net::NodeId> holders =
             registry_.templateHolders(function_name);
         if (holders.empty())
             return best;
         // A template holder boots with a local sfork; stick with the
         // least-loaded one until it is clearly busier than the fleet.
-        constexpr std::size_t kLoadSlack = 4;
         bool have_holder = false;
         std::size_t hbest = 0, hload = 0;
         for (net::NodeId id : holders) {
@@ -203,6 +230,35 @@ Cluster::routeProjected(const std::string &function_name,
                         const std::vector<std::size_t> &loads)
 {
     return pickFromLoads(function_name, loads);
+}
+
+std::size_t
+Cluster::routeStage(const std::string &function_name,
+                    const std::vector<std::size_t> &region_affinity_bytes)
+{
+    return pickFromLoads(function_name, instanceLoads(),
+                         region_affinity_bytes);
+}
+
+state::StateRegionStore &
+Cluster::stateRegions()
+{
+    if (!state_) {
+        state_ = std::make_unique<state::StateRegionStore>(&fabric_);
+        for (std::size_t i = 0; i < nodes_.size(); ++i)
+            state_->addNode(static_cast<net::NodeId>(i),
+                            nodes_[i].machine->frames(),
+                            nodes_[i].machine->ctx());
+    }
+    return *state_;
+}
+
+std::size_t
+Cluster::stateResidentBytes(std::size_t i) const
+{
+    if (!state_)
+        return 0;
+    return state_->residentBytesOn(static_cast<net::NodeId>(i));
 }
 
 std::vector<std::size_t>
@@ -323,7 +379,21 @@ Cluster::statsSnapshot(std::ostream &os) const
 {
     sim::StatRegistry fleet;
     mergeStats(fleet);
-    os << "{\"machines\": " << nodes_.size() << ", \"fleet\": ";
+    os << "{\"machines\": " << nodes_.size();
+    // Stateless clusters keep the legacy snapshot byte-identical; the
+    // state block appears only once someone created a region.
+    if (state_ && state_->regionCount() > 0) {
+        os << ", \"state\": {\"regions\": " << state_->regionCount()
+           << ", \"resident_bytes\": [";
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            const std::size_t bytes = stateResidentBytes(i);
+            total += bytes;
+            os << (i == 0 ? "" : ", ") << bytes;
+        }
+        os << "], \"resident_bytes_total\": " << total << "}";
+    }
+    os << ", \"fleet\": ";
     fleet.writeJson(os);
     os << "}\n";
 }

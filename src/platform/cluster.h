@@ -22,6 +22,7 @@
 #include "net/fabric.h"
 #include "platform/platform.h"
 #include "remote/template_registry.h"
+#include "state/state_region.h"
 
 namespace catalyzer::platform {
 
@@ -115,6 +116,19 @@ class Cluster
     std::size_t routeProjected(const std::string &function_name,
                                const std::vector<std::size_t> &loads);
 
+    /**
+     * Route one workflow stage: like route(), but NetworkAware also
+     * weighs @p region_affinity_bytes — per-machine bytes of state
+     * regions the stage would otherwise have to stream over (plus the
+     * dependency-machine nudge the workflow engine folds in). Among
+     * machines within the load slack of the least-loaded, the largest
+     * affinity wins; with no affinity anywhere the behavior is exactly
+     * route()'s. Other policies ignore the affinity (locality-blind).
+     */
+    std::size_t
+    routeStage(const std::string &function_name,
+               const std::vector<std::size_t> &region_affinity_bytes);
+
     /** Live totalInstances() of each machine, indexed by machine. */
     std::vector<std::size_t> instanceLoads() const;
 
@@ -159,6 +173,20 @@ class Cluster
     remote::TemplateRegistry &registry() { return registry_; }
 
     /**
+     * The fleet's shared state-region store, created on first use with
+     * every machine registered (strictly pay-for-use: a cluster that
+     * never calls this carries no store and emits no state counters).
+     */
+    state::StateRegionStore &stateRegions();
+
+    /**
+     * Bytes of state-region replicas resident on machine @p i; zero
+     * when the store was never created. The autoscaler folds this into
+     * its memory-pressure budget.
+     */
+    std::size_t stateResidentBytes(std::size_t i) const;
+
+    /**
      * Fleet-wide metrics snapshot as JSON: every machine's counters
      * summed and histogram samples concatenated, plus the machine
      * count: {"machines": N, "fleet": {counters..., histograms...}}.
@@ -192,6 +220,10 @@ class Cluster
     std::size_t pick(const std::string &function_name);
     std::size_t pickFromLoads(const std::string &function_name,
                               const std::vector<std::size_t> &loads);
+    std::size_t
+    pickFromLoads(const std::string &function_name,
+                  const std::vector<std::size_t> &loads,
+                  const std::vector<std::size_t> &affinity_bytes);
 
     struct Node
     {
@@ -206,6 +238,12 @@ class Cluster
     /** Content-addressed image fetch is on (couples the fleet). */
     bool chunked_images_ = false;
     std::vector<Node> nodes_;
+    /**
+     * Lazily created by stateRegions(); null on stateless clusters.
+     * Declared after nodes_: replica backing files reference the
+     * machines' frame stores, so the store must be destroyed first.
+     */
+    std::unique_ptr<state::StateRegionStore> state_;
     std::size_t next_rr_ = 0;
     /** Serializes mergeStats/exportFleetTrace against each other. */
     mutable std::mutex aggregation_mu_;

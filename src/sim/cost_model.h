@@ -278,6 +278,28 @@ struct CostModel
     double firecrackerAppInitFactor = 1.15;
     double hyperAppInitFactor = 1.6;
 
+    //
+    // Shared COW state regions and workflow chaining (state/,
+    // workflow/). A same-machine chain hop is a warm in-memory queue
+    // hand-off; a cross-machine hop pays a marshal/dispatch on top of
+    // the fabric RTT, plus whatever region transfers the consumer's
+    // attaches trigger. Publish folds the writer's private COW pages
+    // into a fresh arena generation.
+    //
+    /** Create a named region (directory entry + arena reservation). */
+    SimTime stateCreateFixed = 9_us;
+    /** Map a sealed region replica into a consumer (share-map op). */
+    SimTime stateAttachFixed = 6_us;
+    /** Version bump + directory update on publish. */
+    SimTime statePublishFixed = 20_us;
+    /** Fold one dirty page into the new version's arena. */
+    SimTime statePublishPerPage = 500_ns;
+    /** Hand a chain hop to a co-resident stage (in-memory queue). */
+    SimTime chainLocalHop = 3_us;
+    /** Marshal + dispatch a stage invoke to another machine (plus the
+     *  fabric round trip, charged separately). */
+    SimTime chainRemoteDispatch = 12_us;
+
     /** CPUs available for parallel restore work. */
     int restoreWorkers = 8;
 

@@ -1,0 +1,103 @@
+#include "workflow/scenarios.h"
+
+#include <algorithm>
+
+namespace catalyzer::workflow {
+
+WorkflowSpec
+pipelineAnalytics(std::size_t fanout, std::size_t region_pages)
+{
+    fanout = std::max<std::size_t>(1, fanout);
+    region_pages = std::max<std::size_t>(fanout, region_pages);
+    const std::size_t shard_pages =
+        std::max<std::size_t>(1, region_pages / fanout);
+
+    WorkflowSpec spec;
+    spec.name = "pipeline-analytics";
+    spec.regions.push_back({"pipeline/input", region_pages});
+
+    StageSpec ingest;
+    ingest.name = "ingest";
+    ingest.function = "wf-ingest";
+    ingest.writes = {"pipeline/input"};
+    spec.stages.push_back(ingest);
+
+    StageSpec aggregate;
+    aggregate.name = "aggregate";
+    aggregate.function = "wf-aggregate";
+
+    for (std::size_t k = 0; k < fanout; ++k) {
+        const std::string part =
+            "pipeline/part-" + std::to_string(k);
+        spec.regions.push_back({part, shard_pages});
+        StageSpec map;
+        map.name = "transform-" + std::to_string(k);
+        map.function = "wf-transform";
+        map.after = {"ingest"};
+        map.reads = {"pipeline/input"};
+        map.readPages = shard_pages;
+        map.writes = {part};
+        spec.stages.push_back(map);
+        aggregate.after.push_back(map.name);
+        aggregate.reads.push_back(part);
+    }
+
+    spec.regions.push_back(
+        {"pipeline/result",
+         std::max<std::size_t>(1, region_pages / 4)});
+    aggregate.writes = {"pipeline/result"};
+    spec.stages.push_back(aggregate);
+    return spec;
+}
+
+WorkflowSpec
+shoppingCartSession(std::size_t updates, std::size_t region_pages,
+                    const std::string &session)
+{
+    region_pages = std::max<std::size_t>(8, region_pages);
+    const std::string cart = "cart/" + session;
+    const std::size_t touched =
+        std::max<std::size_t>(1, region_pages / 8);
+
+    WorkflowSpec spec;
+    spec.name = "shopping-cart";
+    spec.regions.push_back({cart, region_pages});
+    spec.regions.push_back({cart + "/receipt", touched});
+
+    StageSpec get;
+    get.name = "get";
+    get.function = "wf-cart-get";
+    get.reads = {cart};
+    spec.stages.push_back(get);
+
+    std::string prev = "get";
+    for (std::size_t k = 0; k < updates; ++k) {
+        StageSpec update;
+        update.name = "update-" + std::to_string(k);
+        update.function = "wf-cart-update";
+        update.after = {prev};
+        update.reads = {cart};
+        update.writes = {cart};
+        update.writePages = touched;
+        prev = update.name;
+        spec.stages.push_back(update);
+    }
+
+    StageSpec checkout;
+    checkout.name = "checkout";
+    checkout.function = "wf-checkout";
+    checkout.after = {prev};
+    checkout.reads = {cart};
+    checkout.writes = {cart + "/receipt"};
+    spec.stages.push_back(checkout);
+    return spec;
+}
+
+std::vector<std::string>
+scenarioFunctions()
+{
+    return {"wf-ingest",   "wf-transform",   "wf-aggregate",
+            "wf-cart-get", "wf-cart-update", "wf-checkout"};
+}
+
+} // namespace catalyzer::workflow

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Canned workflow scenarios over the apps catalog's Workflow suite.
+ *
+ * Two shapes bracket the stateful-serverless design space: a pipeline
+ * analytics DAG (one ingest fans out to parallel transforms that fan
+ * back into an aggregate — wide, bulk regions, write-once) and a
+ * shopping-cart session (a linear chain of small read-modify-write
+ * updates against one session region — deep, small regions, version
+ * churn). fig_chain sweeps both against DAG width/depth, placement
+ * policy and region size.
+ */
+
+#ifndef CATALYZER_WORKFLOW_SCENARIOS_H
+#define CATALYZER_WORKFLOW_SCENARIOS_H
+
+#include "workflow/workflow.h"
+
+namespace catalyzer::workflow {
+
+/**
+ * ingest -> fanout x transform -> aggregate. The ingest stage writes
+ * the @p region_pages input region; each transform reads its shard and
+ * writes a part region; the aggregate fans in over every part.
+ */
+WorkflowSpec pipelineAnalytics(std::size_t fanout = 4,
+                               std::size_t region_pages = 256);
+
+/**
+ * get -> updates x update -> checkout against one session-state
+ * region of @p region_pages pages ("cart/<session>"). Each update is
+ * a read-modify-write publish; checkout reads the final version and
+ * writes a receipt region.
+ */
+WorkflowSpec shoppingCartSession(std::size_t updates = 3,
+                                 std::size_t region_pages = 64,
+                                 const std::string &session = "s0");
+
+/** Functions the two scenarios invoke (deploy before running). */
+std::vector<std::string> scenarioFunctions();
+
+} // namespace catalyzer::workflow
+
+#endif // CATALYZER_WORKFLOW_SCENARIOS_H

@@ -12,6 +12,10 @@ observability layer produces, run by CI right after the smoke benches:
   fleet=FILE       fleet SLO/cost sweep (bench/fig_fleet_slo)
   imagededup=FILE  chunk-dedup + tier-ladder report
                    (bench/fig_image_dedup)
+  chain=FILE       stateful-workflow locality sweep (bench/fig_chain)
+  chainmetrics=FILE  fleet metrics snapshot with the chain.* / state.*
+                     counters and the per-machine state-residency
+                     block (trace_report --chain)
 
 Usage: check_obs_schema.py kind=path [kind=path ...]
 
@@ -334,9 +338,142 @@ def check_imagededup(path, doc):
                    "ram < ssd < peer < origin")
 
 
+# The satellite counters every stateful-workflow artifact must carry.
+CHAIN_COUNTERS = ("chain.workflows", "chain.hops_local",
+                  "chain.hops_remote", "state.regions_resident",
+                  "state.attaches", "state.publishes", "state.transfers",
+                  "state.transfer_bytes", "state.cow_faults",
+                  "state.read_faults")
+
+
+def check_counter_block(path, where, block):
+    if not expect(isinstance(block, dict), path,
+                  f"{where} missing or not an object"):
+        return
+    for key in CHAIN_COUNTERS:
+        expect(isinstance(block.get(key), int) and block[key] >= 0,
+               path, f"{where}: {key!r} missing or not a counter")
+
+
+def check_chain(path, doc):
+    if not expect(isinstance(doc, dict), path, "root is not an object"):
+        return
+    config = doc.get("config")
+    if expect(isinstance(config, dict), path,
+              "'config' missing or not an object"):
+        for key in ("runs", "region_pages", "machines"):
+            expect(is_num(config.get(key)) and config[key] > 0, path,
+                   f"config: {key!r} missing or not positive")
+    hop = doc.get("hop_micro")
+    if expect(isinstance(hop, dict), path,
+              "'hop_micro' missing or not an object"):
+        for key in ("local_ms", "remote_ms", "ratio"):
+            expect(is_num(hop.get(key)) and hop[key] > 0, path,
+                   f"hop_micro: {key!r} missing or not positive")
+        if is_num(hop.get("local_ms")) and is_num(hop.get("remote_ms")):
+            expect(hop["local_ms"] < hop["remote_ms"], path,
+                   "hop_micro: local hop not cheaper than remote hop")
+    for block, axis in (("width_sweep", "fanout"),
+                        ("depth_sweep", "updates"),
+                        ("region_sweep", "pages")):
+        rows = doc.get(block)
+        if not expect(isinstance(rows, list) and rows, path,
+                      f"{block!r} missing, not a list, or empty"):
+            continue
+        last = None
+        for row in rows:
+            if not expect(isinstance(row, dict), path,
+                          f"{block}: row is not an object"):
+                continue
+            v = row.get(axis)
+            expect(isinstance(v, int) and v > 0, path,
+                   f"{block}: {axis!r} missing or not positive")
+            if isinstance(v, int):
+                if last is not None:
+                    expect(v > last, path,
+                           f"{block}: {axis} not strictly increasing")
+                last = v
+            keys = (("local_ms", "remote_ms")
+                    if block == "region_sweep"
+                    else ("aware_ms", "blind_ms"))
+            for key in keys:
+                expect(is_num(row.get(key)) and row[key] > 0, path,
+                       f"{block}: {key!r} missing or not positive")
+    ab = doc.get("locality_ab")
+    if expect(isinstance(ab, dict), path,
+              "'locality_ab' missing or not an object"):
+        for key in ("aware_p50_ms", "aware_p99_ms", "blind_p50_ms",
+                    "blind_p99_ms"):
+            expect(is_num(ab.get(key)) and ab[key] > 0, path,
+                   f"locality_ab: {key!r} missing or not positive")
+        for key in ("aware_hops_local", "aware_hops_remote",
+                    "blind_hops_local", "blind_hops_remote"):
+            expect(isinstance(ab.get(key), int) and ab[key] >= 0, path,
+                   f"locality_ab: {key!r} missing or not a counter")
+    mix = doc.get("fleet_mix")
+    if expect(isinstance(mix, dict), path,
+              "'fleet_mix' missing or not an object"):
+        for key in ("requests", "workflow_runs", "hops_local",
+                    "hops_remote", "transfer_bytes"):
+            expect(isinstance(mix.get(key), int) and mix[key] >= 0,
+                   path, f"fleet_mix: {key!r} missing or not a counter")
+        expect(is_num(mix.get("chain_p99_ms")), path,
+               "fleet_mix: 'chain_p99_ms' missing or not a number")
+    for block in ("counters_aware", "counters_blind"):
+        check_counter_block(path, block, doc.get(block))
+
+
+def check_chainmetrics(path, doc):
+    if not expect(isinstance(doc, dict), path, "root is not an object"):
+        return
+    machines = doc.get("machines")
+    expect(isinstance(machines, int) and machines > 0, path,
+           "'machines' missing or not positive")
+    state = doc.get("state")
+    if expect(isinstance(state, dict), path,
+              "'state' missing or not an object (chain artifacts must "
+              "carry the residency block)"):
+        expect(isinstance(state.get("regions"), int)
+               and state["regions"] > 0, path,
+               "state: 'regions' missing or not positive")
+        resident = state.get("resident_bytes")
+        if expect(isinstance(resident, list), path,
+                  "state: 'resident_bytes' missing or not a list"):
+            if isinstance(machines, int):
+                expect(len(resident) == machines, path,
+                       "state: resident_bytes length != machines")
+            for v in resident:
+                expect(isinstance(v, int) and v >= 0, path,
+                       "state: resident_bytes entry not a counter")
+            total = state.get("resident_bytes_total")
+            if expect(isinstance(total, int), path,
+                      "state: 'resident_bytes_total' missing"):
+                expect(total == sum(v for v in resident
+                                    if isinstance(v, int)), path,
+                       "state: resident_bytes_total != sum of "
+                       "per-machine bytes")
+    fleet = doc.get("fleet")
+    if not expect(isinstance(fleet, dict), path,
+                  "'fleet' missing or not an object"):
+        return
+    counters = fleet.get("counters")
+    if expect(isinstance(counters, dict), path,
+              "fleet: 'counters' missing or not an object"):
+        for key in CHAIN_COUNTERS:
+            expect(is_num(counters.get(key)) and counters[key] >= 0,
+                   path, f"fleet counters: {key!r} missing or not a "
+                   "counter")
+    histograms = fleet.get("histograms")
+    if expect(isinstance(histograms, dict), path,
+              "fleet: 'histograms' missing or not an object"):
+        expect(isinstance(histograms.get("chain.e2e_ms"), dict), path,
+               "fleet histograms: 'chain.e2e_ms' missing")
+
+
 CHECKS = {"timeseries": check_timeseries, "slo": check_slo,
           "trace": check_trace, "fleet": check_fleet,
-          "imagededup": check_imagededup}
+          "imagededup": check_imagededup, "chain": check_chain,
+          "chainmetrics": check_chainmetrics}
 
 
 def main(argv):
